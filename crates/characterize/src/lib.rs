@@ -1,0 +1,32 @@
+//! `uvf-characterize`: the paper's Listing-1 characterization campaign,
+//! made crash-resilient.
+//!
+//! Layering:
+//!
+//! * [`json`] — dependency-free JSON with byte-stable serialization,
+//! * [`record`] — sweep records, crash telemetry and atomic checkpoints,
+//! * [`sweep`] — Listing-1 configuration and the BRAM/logic probes,
+//! * [`harness`] — watchdog + retry/backoff + power-cycle recovery +
+//!   checkpointed resume (the crash-resilience core),
+//! * [`guardband`] — `Vmin`/`Vcrash` discovery reports over the harness.
+//!
+//! The central invariant: a sweep interrupted anywhere — board hang, run
+//! budget, process death — resumes from its checkpoint and produces a
+//! record *bit-identical* to an uninterrupted sweep, because every
+//! stochastic draw is keyed by position (level, run, attempt), never by
+//! wall-clock or call count.
+
+pub mod guardband;
+pub mod harness;
+pub mod json;
+pub mod record;
+pub mod sweep;
+
+pub use guardband::{discover, discover_all, GuardbandReport};
+pub use harness::{Harness, HarnessError, HarnessStatus, RecoveryPolicy, SimClock, MS_PER_RUN};
+pub use json::{Json, JsonError};
+pub use record::{
+    Checkpoint, CrashEvent, LevelRecord, RecordError, RunRecord, SweepOutcome, SweepRecord,
+    RECORD_VERSION,
+};
+pub use sweep::{Probe, SweepConfig};

@@ -1,0 +1,591 @@
+//! Experiment records and crash-safe checkpoints.
+//!
+//! A [`SweepRecord`] is both the scientific output of a Listing-1 sweep and
+//! the unit of crash-resilience: the harness serializes it (plus a small
+//! cursor) to JSON after every few runs, atomically, so a sweep interrupted
+//! by a board hang — or by the host process dying — resumes exactly where
+//! it stopped and finishes bit-identical to an uninterrupted one.
+
+use crate::json::{Json, JsonError};
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+use uvf_fpga::seedmix::mix;
+use uvf_fpga::{DataPattern, Millivolts, PlatformKind, Rail};
+
+/// Schema version of the checkpoint/record JSON.
+pub const RECORD_VERSION: u64 = 1;
+
+/// One read-out run at one voltage level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunRecord {
+    pub run: u32,
+    /// Observable faults counted in this run (whole BRAM pool).
+    pub faults: u64,
+}
+
+/// All runs at one voltage level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelRecord {
+    pub v_mv: u32,
+    /// `true` when the sweep ended here: the board hung at this level and
+    /// retries were exhausted, so the level's data is partial.
+    pub crashed: bool,
+    pub runs: Vec<RunRecord>,
+}
+
+impl LevelRecord {
+    #[must_use]
+    pub fn any_faults(&self) -> bool {
+        self.runs.iter().any(|r| r.faults > 0)
+    }
+
+    /// Median fault count over the level's runs (the paper's statistic).
+    #[must_use]
+    pub fn median_faults(&self) -> f64 {
+        if self.runs.is_empty() {
+            return 0.0;
+        }
+        let mut counts: Vec<u64> = self.runs.iter().map(|r| r.faults).collect();
+        counts.sort_unstable();
+        let n = counts.len();
+        if n % 2 == 1 {
+            counts[n / 2] as f64
+        } else {
+            (counts[n / 2 - 1] + counts[n / 2]) as f64 / 2.0
+        }
+    }
+
+    /// Median rate in the paper's unit.
+    #[must_use]
+    pub fn median_faults_per_mbit(&self, total_mbit: f64) -> f64 {
+        self.median_faults() / total_mbit
+    }
+}
+
+/// Why the sweep stopped descending.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepOutcome {
+    /// Interrupted mid-sweep (checkpointed); resume to continue.
+    InProgress,
+    /// The board hung at the level below `vcrash_mv` and retries were
+    /// exhausted: `vcrash_mv` is the lowest *operational* level (Fig. 1).
+    CrashFound { vcrash_mv: u32 },
+    /// The configured floor was reached without a terminal hang.
+    FloorReached,
+}
+
+/// Telemetry of one detected hang + recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashEvent {
+    /// Level being measured when the board hung.
+    pub v_mv: u32,
+    /// Run index the hang interrupted.
+    pub run: u32,
+    /// Retry attempt (0 = first encounter at this run).
+    pub attempt: u32,
+    /// Simulated time at detection.
+    pub sim_ms: u64,
+    /// How long the watchdog waited before declaring the hang.
+    pub detected_ms: u64,
+    /// Exponential backoff applied before the power-cycle retry.
+    pub backoff_ms: u64,
+}
+
+/// Full record of one guardband sweep (Listing 1 + crash telemetry).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRecord {
+    pub platform: PlatformKind,
+    pub rail: Rail,
+    pub pattern: DataPattern,
+    pub chip_seed: u64,
+    pub start_mv: u32,
+    pub floor_mv: u32,
+    pub step_mv: u32,
+    pub runs_per_level: u32,
+    pub temperature_c: f64,
+    pub noise_band_mv: u32,
+    /// Levels in sweep order (descending voltage).
+    pub levels: Vec<LevelRecord>,
+    pub crash_events: Vec<CrashEvent>,
+    pub outcome: SweepOutcome,
+    /// Power cycles across the whole sweep, surviving resume.
+    pub power_cycles: u32,
+}
+
+impl SweepRecord {
+    /// Configuration fingerprint: a checkpoint may only resume a sweep with
+    /// the same science-relevant parameters.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        mix(&[
+            RECORD_VERSION,
+            str_key(self.platform.name()),
+            str_key(self.rail.name()),
+            str_key(self.pattern.name()),
+            self.chip_seed,
+            u64::from(self.start_mv),
+            u64::from(self.floor_mv),
+            u64::from(self.step_mv),
+            u64::from(self.runs_per_level),
+            self.temperature_c.to_bits(),
+            u64::from(self.noise_band_mv),
+        ])
+    }
+
+    /// Highest voltage level at which any run observed a fault: `Vmin`.
+    #[must_use]
+    pub fn vmin(&self) -> Option<Millivolts> {
+        self.levels
+            .iter()
+            .find(|l| !l.crashed && l.any_faults())
+            .map(|l| Millivolts(l.v_mv))
+    }
+
+    /// Lowest operational voltage, if the sweep found the crash boundary.
+    #[must_use]
+    pub fn vcrash(&self) -> Option<Millivolts> {
+        match self.outcome {
+            SweepOutcome::CrashFound { vcrash_mv } => Some(Millivolts(vcrash_mv)),
+            _ => None,
+        }
+    }
+
+    /// Guardband fraction of nominal down to `Vmin` (Fig. 1).
+    #[must_use]
+    pub fn guardband_fraction(&self) -> Option<f64> {
+        let vmin = self.vmin()?;
+        Some(f64::from(Millivolts::NOMINAL.0 - vmin.0) / f64::from(Millivolts::NOMINAL.0))
+    }
+
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("platform", Json::Str(self.platform.name().to_string())),
+            ("rail", Json::Str(self.rail.name().to_string())),
+            ("pattern", Json::Str(self.pattern.name().to_string())),
+            ("chip_seed", Json::UInt(self.chip_seed)),
+            ("start_mv", Json::UInt(u64::from(self.start_mv))),
+            ("floor_mv", Json::UInt(u64::from(self.floor_mv))),
+            ("step_mv", Json::UInt(u64::from(self.step_mv))),
+            ("runs_per_level", Json::UInt(u64::from(self.runs_per_level))),
+            ("temperature_c", Json::Float(self.temperature_c)),
+            ("noise_band_mv", Json::UInt(u64::from(self.noise_band_mv))),
+            (
+                "levels",
+                Json::Arr(
+                    self.levels
+                        .iter()
+                        .map(|l| {
+                            Json::obj(vec![
+                                ("v_mv", Json::UInt(u64::from(l.v_mv))),
+                                ("crashed", Json::Bool(l.crashed)),
+                                (
+                                    "runs",
+                                    Json::Arr(
+                                        l.runs
+                                            .iter()
+                                            .map(|r| {
+                                                Json::obj(vec![
+                                                    ("run", Json::UInt(u64::from(r.run))),
+                                                    ("faults", Json::UInt(r.faults)),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "crash_events",
+                Json::Arr(
+                    self.crash_events
+                        .iter()
+                        .map(|c| {
+                            Json::obj(vec![
+                                ("v_mv", Json::UInt(u64::from(c.v_mv))),
+                                ("run", Json::UInt(u64::from(c.run))),
+                                ("attempt", Json::UInt(u64::from(c.attempt))),
+                                ("sim_ms", Json::UInt(c.sim_ms)),
+                                ("detected_ms", Json::UInt(c.detected_ms)),
+                                ("backoff_ms", Json::UInt(c.backoff_ms)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "outcome",
+                match self.outcome {
+                    SweepOutcome::InProgress => {
+                        Json::obj(vec![("kind", Json::Str("in_progress".into()))])
+                    }
+                    SweepOutcome::CrashFound { vcrash_mv } => Json::obj(vec![
+                        ("kind", Json::Str("crash_found".into())),
+                        ("vcrash_mv", Json::UInt(u64::from(vcrash_mv))),
+                    ]),
+                    SweepOutcome::FloorReached => {
+                        Json::obj(vec![("kind", Json::Str("floor_reached".into()))])
+                    }
+                },
+            ),
+            ("power_cycles", Json::UInt(u64::from(self.power_cycles))),
+        ])
+    }
+
+    pub fn from_json(v: &Json) -> Result<SweepRecord, RecordError> {
+        let platform = PlatformKind::from_name(req_str(v, "platform")?)
+            .ok_or_else(|| schema("unknown platform"))?;
+        let rail = Rail::from_name(req_str(v, "rail")?).ok_or_else(|| schema("unknown rail"))?;
+        let pattern = DataPattern::from_name(req_str(v, "pattern")?)
+            .ok_or_else(|| schema("unknown pattern"))?;
+        let levels = v
+            .get("levels")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| schema("levels missing"))?
+            .iter()
+            .map(|l| {
+                let runs = l
+                    .get("runs")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| schema("runs missing"))?
+                    .iter()
+                    .map(|r| {
+                        Ok(RunRecord {
+                            run: req_u32(r, "run")?,
+                            faults: req_u64(r, "faults")?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, RecordError>>()?;
+                Ok(LevelRecord {
+                    v_mv: req_u32(l, "v_mv")?,
+                    crashed: l
+                        .get("crashed")
+                        .and_then(Json::as_bool)
+                        .ok_or_else(|| schema("crashed missing"))?,
+                    runs,
+                })
+            })
+            .collect::<Result<Vec<_>, RecordError>>()?;
+        let crash_events = v
+            .get("crash_events")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| schema("crash_events missing"))?
+            .iter()
+            .map(|c| {
+                Ok(CrashEvent {
+                    v_mv: req_u32(c, "v_mv")?,
+                    run: req_u32(c, "run")?,
+                    attempt: req_u32(c, "attempt")?,
+                    sim_ms: req_u64(c, "sim_ms")?,
+                    detected_ms: req_u64(c, "detected_ms")?,
+                    backoff_ms: req_u64(c, "backoff_ms")?,
+                })
+            })
+            .collect::<Result<Vec<_>, RecordError>>()?;
+        let outcome_v = v.get("outcome").ok_or_else(|| schema("outcome missing"))?;
+        let outcome = match req_str(outcome_v, "kind")? {
+            "in_progress" => SweepOutcome::InProgress,
+            "crash_found" => SweepOutcome::CrashFound {
+                vcrash_mv: req_u32(outcome_v, "vcrash_mv")?,
+            },
+            "floor_reached" => SweepOutcome::FloorReached,
+            other => return Err(schema(&format!("unknown outcome kind {other}"))),
+        };
+        Ok(SweepRecord {
+            platform,
+            rail,
+            pattern,
+            chip_seed: req_u64(v, "chip_seed")?,
+            start_mv: req_u32(v, "start_mv")?,
+            floor_mv: req_u32(v, "floor_mv")?,
+            step_mv: req_u32(v, "step_mv")?,
+            runs_per_level: req_u32(v, "runs_per_level")?,
+            temperature_c: v
+                .get("temperature_c")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| schema("temperature_c missing"))?,
+            noise_band_mv: req_u32(v, "noise_band_mv")?,
+            levels,
+            crash_events,
+            outcome,
+            power_cycles: req_u32(v, "power_cycles")?,
+        })
+    }
+
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string()
+    }
+}
+
+/// Checkpoint = record-so-far + resume cursor. The cursor is tiny on
+/// purpose: everything positional (current level, next run) is derivable
+/// from the record itself; only the retry attempt counter and the simulated
+/// clock are extra state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    pub record: SweepRecord,
+    /// Retry attempt at the current (level, run) position.
+    pub attempt: u32,
+    /// Simulated milliseconds elapsed across the whole sweep.
+    pub clock_ms: u64,
+}
+
+impl Checkpoint {
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        Json::obj(vec![
+            ("version", Json::UInt(RECORD_VERSION)),
+            ("fingerprint", Json::UInt(self.record.fingerprint())),
+            ("attempt", Json::UInt(u64::from(self.attempt))),
+            ("clock_ms", Json::UInt(self.clock_ms)),
+            ("record", self.record.to_json()),
+        ])
+        .to_string()
+    }
+
+    pub fn parse(text: &str) -> Result<Checkpoint, RecordError> {
+        let v = Json::parse(text)?;
+        let version = req_u64(&v, "version")?;
+        if version != RECORD_VERSION {
+            return Err(schema(&format!("unsupported checkpoint version {version}")));
+        }
+        let record =
+            SweepRecord::from_json(v.get("record").ok_or_else(|| schema("record missing"))?)?;
+        let stored_fp = req_u64(&v, "fingerprint")?;
+        if stored_fp != record.fingerprint() {
+            return Err(RecordError::FingerprintMismatch {
+                stored: stored_fp,
+                computed: record.fingerprint(),
+            });
+        }
+        Ok(Checkpoint {
+            record,
+            attempt: req_u32(&v, "attempt")?,
+            clock_ms: req_u64(&v, "clock_ms")?,
+        })
+    }
+
+    /// Atomic write: temp file + rename, so a crash mid-write can never
+    /// leave a torn checkpoint behind.
+    pub fn save(&self, path: &Path) -> Result<(), RecordError> {
+        let tmp = tmp_path(path);
+        fs::write(&tmp, self.to_json_string()).map_err(|e| io_err(&tmp, &e))?;
+        fs::rename(&tmp, path).map_err(|e| io_err(path, &e))
+    }
+
+    pub fn load(path: &Path) -> Result<Checkpoint, RecordError> {
+        let text = fs::read_to_string(path).map_err(|e| io_err(path, &e))?;
+        Checkpoint::parse(&text)
+    }
+}
+
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_owned();
+    os.push(".tmp");
+    PathBuf::from(os)
+}
+
+/// Errors of record/checkpoint (de)serialization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecordError {
+    Json(JsonError),
+    Schema(String),
+    FingerprintMismatch { stored: u64, computed: u64 },
+    Io { path: PathBuf, msg: String },
+}
+
+impl fmt::Display for RecordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordError::Json(e) => write!(f, "record JSON: {e}"),
+            RecordError::Schema(msg) => write!(f, "record schema: {msg}"),
+            RecordError::FingerprintMismatch { stored, computed } => write!(
+                f,
+                "checkpoint fingerprint mismatch (stored {stored:#x}, computed {computed:#x})"
+            ),
+            RecordError::Io { path, msg } => {
+                write!(f, "checkpoint I/O on {}: {msg}", path.display())
+            }
+        }
+    }
+}
+
+impl Error for RecordError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RecordError::Json(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<JsonError> for RecordError {
+    fn from(e: JsonError) -> RecordError {
+        RecordError::Json(e)
+    }
+}
+
+/// Stable key for a short lowercase name (config fingerprinting).
+fn str_key(s: &str) -> u64 {
+    s.bytes().fold(0u64, |acc, b| (acc << 8) | u64::from(b))
+}
+
+fn schema(msg: &str) -> RecordError {
+    RecordError::Schema(msg.to_string())
+}
+
+fn io_err(path: &Path, e: &std::io::Error) -> RecordError {
+    RecordError::Io {
+        path: path.to_path_buf(),
+        msg: e.to_string(),
+    }
+}
+
+fn req_str<'a>(v: &'a Json, key: &str) -> Result<&'a str, RecordError> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| schema(&format!("{key} missing or not a string")))
+}
+
+fn req_u64(v: &Json, key: &str) -> Result<u64, RecordError> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| schema(&format!("{key} missing or not an integer")))
+}
+
+fn req_u32(v: &Json, key: &str) -> Result<u32, RecordError> {
+    v.get(key)
+        .and_then(Json::as_u32)
+        .ok_or_else(|| schema(&format!("{key} missing or not a u32")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record() -> SweepRecord {
+        SweepRecord {
+            platform: PlatformKind::Vc707,
+            rail: Rail::Vccbram,
+            pattern: DataPattern::AllOnes,
+            chip_seed: 0x7c70_7001_d1e5_eed1,
+            start_mv: 1000,
+            floor_mv: 450,
+            step_mv: 10,
+            runs_per_level: 3,
+            temperature_c: 25.0,
+            noise_band_mv: 0,
+            levels: vec![
+                LevelRecord {
+                    v_mv: 1000,
+                    crashed: false,
+                    runs: vec![RunRecord { run: 0, faults: 0 }],
+                },
+                LevelRecord {
+                    v_mv: 610,
+                    crashed: false,
+                    runs: vec![
+                        RunRecord { run: 0, faults: 1 },
+                        RunRecord { run: 1, faults: 2 },
+                        RunRecord { run: 2, faults: 4 },
+                    ],
+                },
+            ],
+            crash_events: vec![CrashEvent {
+                v_mv: 530,
+                run: 1,
+                attempt: 2,
+                sim_ms: 12345,
+                detected_ms: 250,
+                backoff_ms: 400,
+            }],
+            outcome: SweepOutcome::CrashFound { vcrash_mv: 540 },
+            power_cycles: 3,
+        }
+    }
+
+    #[test]
+    fn record_roundtrips_through_json() {
+        let rec = sample_record();
+        let text = rec.to_json_string();
+        let back = SweepRecord::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, rec);
+        assert_eq!(back.to_json_string(), text, "byte-stable");
+    }
+
+    #[test]
+    fn landmarks_derived_from_record() {
+        let rec = sample_record();
+        assert_eq!(rec.vmin(), Some(Millivolts(610)));
+        assert_eq!(rec.vcrash(), Some(Millivolts(540)));
+        assert!((rec.guardband_fraction().unwrap() - 0.39).abs() < 1e-9);
+    }
+
+    #[test]
+    fn median_is_the_papers_statistic() {
+        let level = &sample_record().levels[1];
+        assert_eq!(level.median_faults(), 2.0);
+        let even = LevelRecord {
+            v_mv: 600,
+            crashed: false,
+            runs: vec![
+                RunRecord { run: 0, faults: 2 },
+                RunRecord { run: 1, faults: 4 },
+            ],
+        };
+        assert_eq!(even.median_faults(), 3.0);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_and_fingerprint_guard() {
+        let cp = Checkpoint {
+            record: sample_record(),
+            attempt: 1,
+            clock_ms: 98765,
+        };
+        let text = cp.to_json_string();
+        let back = Checkpoint::parse(&text).unwrap();
+        assert_eq!(back, cp);
+
+        // Tampering with a config field breaks the fingerprint.
+        let tampered = text.replace("\"step_mv\":10", "\"step_mv\":20");
+        assert!(matches!(
+            Checkpoint::parse(&tampered),
+            Err(RecordError::FingerprintMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn checkpoint_save_load_is_atomic() {
+        let dir = std::env::temp_dir().join(format!("uvf-rec-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.json");
+        let cp = Checkpoint {
+            record: sample_record(),
+            attempt: 0,
+            clock_ms: 1,
+        };
+        cp.save(&path).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap(), cp);
+        assert!(!tmp_path(&path).exists(), "temp file renamed away");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_a_typed_error() {
+        assert!(matches!(
+            Checkpoint::parse("{not json"),
+            Err(RecordError::Json(_))
+        ));
+        assert!(matches!(
+            Checkpoint::parse("{\"version\":99}"),
+            Err(RecordError::Schema(_))
+        ));
+    }
+}

@@ -1,0 +1,272 @@
+//! Sweep configuration (Listing 1 of the paper) and read-out probes.
+//!
+//! A sweep walks one rail downwards in VID steps, performing
+//! `runs_per_level` write/read-back runs at each level. The probe is how a
+//! run turns silicon state into a fault count: BRAM sweeps count observable
+//! bit flips against the written pattern; VCCINT sweeps run the logic
+//! self-test. Either way the probe goes *through the board*, so a hung
+//! board surfaces as `BoardError::Crashed` for the harness watchdog.
+
+use crate::record::SweepRecord;
+use uvf_faults::{run_seed, FaultModel, ReadCondition};
+use uvf_fpga::{Board, BoardError, BramId, DataPattern, Millivolts, Rail, DEFAULT_TEMPERATURE_C};
+
+/// Parameters of one guardband sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepConfig {
+    pub rail: Rail,
+    /// Pattern written before every read-back run (the paper's default and
+    /// worst case is all-ones, `FFFF`).
+    pub pattern: DataPattern,
+    /// First level, normally nominal.
+    pub start: Millivolts,
+    /// Lowest level the sweep will attempt if no crash intervenes.
+    pub floor: Millivolts,
+    /// VID step between levels (10 mV on every Table-I regulator).
+    pub step_mv: u32,
+    /// Read-back runs per level (100 in the paper).
+    pub runs_per_level: u32,
+    pub temperature_c: f64,
+    /// Width of the noisy-environment band above `Vcrash` in which supply
+    /// noise can crash the board early; 0 disables it (lab conditions).
+    pub noise_band_mv: u32,
+}
+
+impl SweepConfig {
+    /// The paper's Listing-1 defaults for `rail`.
+    #[must_use]
+    pub fn listing1(rail: Rail) -> SweepConfig {
+        SweepConfig {
+            rail,
+            pattern: DataPattern::AllOnes,
+            start: Millivolts::NOMINAL,
+            floor: Millivolts(450),
+            step_mv: 10,
+            runs_per_level: 100,
+            temperature_c: DEFAULT_TEMPERATURE_C,
+            noise_band_mv: 0,
+        }
+    }
+
+    /// A reduced-runs variant for tests and examples; statistically noisier
+    /// but walks the identical level ladder.
+    #[must_use]
+    pub fn quick(rail: Rail, runs_per_level: u32) -> SweepConfig {
+        SweepConfig {
+            runs_per_level,
+            ..SweepConfig::listing1(rail)
+        }
+    }
+
+    /// The descending level ladder, `start` and `floor` inclusive (when the
+    /// step lands on it).
+    #[must_use]
+    pub fn levels(&self) -> Vec<Millivolts> {
+        let mut out = Vec::new();
+        let mut v = self.start;
+        while v >= self.floor && v.0 > 0 {
+            out.push(v);
+            if v.0 < self.step_mv {
+                break;
+            }
+            v = v.saturating_sub(self.step_mv);
+        }
+        out
+    }
+
+    /// Reject configurations the harness cannot run.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.step_mv == 0 {
+            return Err("step_mv must be positive".into());
+        }
+        if self.runs_per_level == 0 {
+            return Err("runs_per_level must be positive".into());
+        }
+        if self.start < self.floor {
+            return Err(format!("start {} below floor {}", self.start, self.floor));
+        }
+        if self.rail == Rail::Vccaux {
+            return Err("VCCAUX is never underscaled".into());
+        }
+        Ok(())
+    }
+
+    /// An empty record carrying this configuration, ready for the harness.
+    #[must_use]
+    pub fn empty_record(&self, board: &Board) -> SweepRecord {
+        SweepRecord {
+            platform: board.platform().kind,
+            rail: self.rail,
+            pattern: self.pattern,
+            chip_seed: board.chip_seed(),
+            start_mv: self.start.0,
+            floor_mv: self.floor.0,
+            step_mv: self.step_mv,
+            runs_per_level: self.runs_per_level,
+            temperature_c: self.temperature_c,
+            noise_band_mv: self.noise_band_mv,
+            levels: Vec::new(),
+            crash_events: Vec::new(),
+            outcome: crate::record::SweepOutcome::InProgress,
+            power_cycles: 0,
+        }
+    }
+}
+
+/// How a run measures faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Probe {
+    /// Write `pattern`, read every BRAM back, count observable flips.
+    Bram,
+    /// Run the logic self-test and count its miscompares (VCCINT sweeps).
+    Logic,
+}
+
+impl Probe {
+    /// The natural probe for a rail.
+    #[must_use]
+    pub fn for_rail(rail: Rail) -> Probe {
+        match rail {
+            Rail::Vccbram => Probe::Bram,
+            _ => Probe::Logic,
+        }
+    }
+
+    /// (Re-)arm the probe: performed at sweep start and after every power
+    /// cycle, because recovery wipes BRAM contents.
+    pub fn arm(self, board: &mut Board, pattern: DataPattern) -> Result<(), BoardError> {
+        match self {
+            Probe::Bram => board.write_pattern(pattern),
+            Probe::Logic => Ok(()),
+        }
+    }
+
+    /// One run's fault count at level `v`.
+    ///
+    /// The count is keyed by the attempt-independent
+    /// [`run_seed`](uvf_faults::run_seed), which is what makes a resumed
+    /// sweep bit-identical to an uninterrupted one: re-measuring run `r`
+    /// after a recovery draws the same jitter as the first attempt did.
+    pub fn sample(
+        self,
+        board: &Board,
+        model: &FaultModel,
+        cfg: &SweepConfig,
+        v: Millivolts,
+        run: u32,
+    ) -> Result<u64, BoardError> {
+        match self {
+            Probe::Bram => {
+                // Liveness check through the real read path: a hung board
+                // must fail here, not silently return model data.
+                board.read_row(BramId(0), 0)?;
+                let cond = ReadCondition {
+                    v,
+                    temperature_c: cfg.temperature_c,
+                    run_seed: run_seed(board.chip_seed(), cfg.rail, v, run),
+                };
+                let mut count = 0u64;
+                for b in 0..board.platform().bram_count as u32 {
+                    let bram = BramId(b);
+                    model.for_each_failing(bram, &cond, |cell| {
+                        let stored = cfg.pattern.word(bram, u32::from(cell.row));
+                        let stored_bit = stored & (1u16 << cell.bit) != 0;
+                        if cell.observable(stored_bit) {
+                            count += 1;
+                        }
+                    });
+                }
+                Ok(count)
+            }
+            Probe::Logic => board.logic_selftest().map(u64::from),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uvf_fpga::PlatformKind;
+
+    #[test]
+    fn listing1_defaults_match_the_paper() {
+        let cfg = SweepConfig::listing1(Rail::Vccbram);
+        assert_eq!(cfg.step_mv, 10);
+        assert_eq!(cfg.runs_per_level, 100);
+        assert_eq!(cfg.pattern, DataPattern::AllOnes);
+        assert_eq!(cfg.start, Millivolts(1000));
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn level_ladder_is_descending_and_inclusive() {
+        let mut cfg = SweepConfig::listing1(Rail::Vccbram);
+        cfg.start = Millivolts(1000);
+        cfg.floor = Millivolts(970);
+        let levels = cfg.levels();
+        assert_eq!(
+            levels,
+            vec![
+                Millivolts(1000),
+                Millivolts(990),
+                Millivolts(980),
+                Millivolts(970)
+            ]
+        );
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut cfg = SweepConfig::listing1(Rail::Vccbram);
+        cfg.step_mv = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = SweepConfig::listing1(Rail::Vccbram);
+        cfg.runs_per_level = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = SweepConfig::listing1(Rail::Vccbram);
+        cfg.floor = Millivolts(1100);
+        assert!(cfg.validate().is_err());
+        assert!(SweepConfig::listing1(Rail::Vccaux).validate().is_err());
+    }
+
+    #[test]
+    fn safe_region_runs_count_zero_faults() {
+        let platform = PlatformKind::Zc702.descriptor();
+        let mut board = Board::new(platform);
+        let model = FaultModel::new(platform);
+        let cfg = SweepConfig::quick(Rail::Vccbram, 3);
+        Probe::Bram.arm(&mut board, cfg.pattern).unwrap();
+        let n = Probe::Bram
+            .sample(&board, &model, &cfg, Millivolts(900), 0)
+            .unwrap();
+        assert_eq!(n, 0, "faults well inside the guardband");
+    }
+
+    #[test]
+    fn critical_region_runs_count_faults() {
+        let platform = PlatformKind::Zc702.descriptor();
+        let mut board = Board::new(platform);
+        let model = FaultModel::new(platform);
+        let cfg = SweepConfig::quick(Rail::Vccbram, 3);
+        let vcrash = platform.vccbram.vcrash;
+        board.set_rail_mv(Rail::Vccbram, vcrash).unwrap();
+        Probe::Bram.arm(&mut board, cfg.pattern).unwrap();
+        let n = Probe::Bram.sample(&board, &model, &cfg, vcrash, 0).unwrap();
+        assert!(n > 0, "no faults at Vcrash");
+    }
+
+    #[test]
+    fn crashed_board_fails_the_sample() {
+        let platform = PlatformKind::Zc702.descriptor();
+        let mut board = Board::new(platform);
+        let model = FaultModel::new(platform);
+        let cfg = SweepConfig::quick(Rail::Vccbram, 3);
+        Probe::Bram.arm(&mut board, cfg.pattern).unwrap();
+        let lethal = platform.vccbram.vcrash.saturating_sub(10);
+        board.set_rail_mv(Rail::Vccbram, lethal).unwrap();
+        assert!(matches!(
+            Probe::Bram.sample(&board, &model, &cfg, lethal, 0),
+            Err(BoardError::Crashed { .. })
+        ));
+    }
+}

@@ -1,0 +1,25 @@
+//! `uvf-faults` — calibrated deterministic bitcell failure-voltage model.
+//!
+//! Stands in for the physical fault mechanism of the paper: every bitcell
+//! owns a threshold voltage `Vfail` drawn deterministically from
+//! `(chip_seed, bram, row, col)` through three process-variation layers
+//! (within-die spatial field, heavy-tailed per-BRAM vulnerability with an
+//! immune mass, die-to-die seed), shifted by temperature (inverse thermal
+//! dependence) and environment noise, and dithered per run by a small
+//! jitter. Cells fail `1→0` with 99.9 % polarity.
+//!
+//! Determinism is the crate's contract, not a convenience: the paper's
+//! observation ❶ (faults are repeatable) is what ICBP exploits, so the same
+//! `(platform, chip_seed)` must yield bit-identical read-backs across
+//! model rebuilds, power cycles and checkpoint-resumed sweeps.
+
+pub mod model;
+pub mod params;
+pub mod rng;
+pub mod thermal;
+pub mod variation;
+pub mod weakcells;
+
+pub use model::{run_seed, FaultModel, ReadCondition};
+pub use params::FaultParams;
+pub use weakcells::{WeakCell, KEEP_MARGIN_MV};

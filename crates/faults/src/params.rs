@@ -1,0 +1,118 @@
+//! Calibrated fault-model parameters per platform (DESIGN.md §5).
+//!
+//! This PR pins the landmark-level targets (fault rate at `Vcrash`, the
+//! `1→0` share, the exponential-tail scale that makes the critical region
+//! span the published 7–8 VID steps). The finer targets — per-BRAM
+//! clustering shares (Fig. 5), Table-II run σ, the two-pin thermal slopes
+//! of Fig. 8 — are ROADMAP items that refine these numbers without moving
+//! the structure.
+
+use uvf_fpga::PlatformKind;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultParams {
+    /// Per-bit failure probability at `Vcrash` for a cell holding its
+    /// vulnerable value (the paper's faults/Mbit at `Vcrash`, FFFF pattern).
+    pub p_crash_per_bit: f64,
+    /// Exponential-tail scale of the threshold distribution in mV: the
+    /// fault rate grows by e^(10/tau) per VID step below `Vmin`.
+    pub tau_mv: f64,
+    /// Share of faulting cells that are `1→0` (paper: 99.9 %).
+    pub one_to_zero_share: f64,
+    /// Share of BRAMs with zero vulnerability mass ("immune"); part of the
+    /// Fig.-5 never-faulty population.
+    pub immune_fraction: f64,
+    /// Log-sigma of the heavy-tailed per-BRAM vulnerability multiplier.
+    pub vuln_sigma: f64,
+    /// Log-amplitude of the within-die spatially-correlated field.
+    pub spatial_sigma: f64,
+    /// Correlation wavelength of the spatial field, in floorplan sites.
+    pub spatial_wavelength: f64,
+    /// Run-to-run threshold jitter σ in mV (Table-II spread source).
+    pub run_jitter_sigma_mv: f64,
+    /// Inverse-thermal-dependence slope: threshold shift in mV per °C
+    /// above [`FaultParams::t_ref_c`] (hotter die ⇒ fewer faults, Fig. 8).
+    pub itd_mv_per_c: f64,
+    /// Reference temperature of the calibration (bench ambient).
+    pub t_ref_c: f64,
+}
+
+impl FaultParams {
+    #[must_use]
+    pub fn for_platform(kind: PlatformKind) -> FaultParams {
+        let base = FaultParams {
+            p_crash_per_bit: 0.0,
+            tau_mv: 7.5,
+            one_to_zero_share: 0.999,
+            immune_fraction: 0.25,
+            vuln_sigma: 1.0,
+            spatial_sigma: 0.5,
+            spatial_wavelength: 6.0,
+            run_jitter_sigma_mv: 1.2,
+            itd_mv_per_c: 0.35,
+            t_ref_c: 25.0,
+        };
+        match kind {
+            PlatformKind::Vc707 => FaultParams {
+                p_crash_per_bit: 652e-6,
+                ..base
+            },
+            PlatformKind::Zc702 => FaultParams {
+                p_crash_per_bit: 153e-6,
+                run_jitter_sigma_mv: 1.3,
+                ..base
+            },
+            PlatformKind::Kc705A => FaultParams {
+                p_crash_per_bit: 254e-6,
+                ..base
+            },
+            PlatformKind::Kc705B => FaultParams {
+                p_crash_per_bit: 60e-6,
+                run_jitter_sigma_mv: 1.0,
+                ..base
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_match_design_section5() {
+        let rate = |k: PlatformKind| FaultParams::for_platform(k).p_crash_per_bit * 1e6;
+        assert_eq!(rate(PlatformKind::Vc707), 652.0);
+        assert_eq!(rate(PlatformKind::Zc702), 153.0);
+        assert_eq!(rate(PlatformKind::Kc705A), 254.0);
+        assert_eq!(rate(PlatformKind::Kc705B), 60.0);
+    }
+
+    #[test]
+    fn jitter_leaves_room_for_the_sentinel() {
+        // The Vmin sentinel sits 3σ above Vmin and must stay more than 4σ
+        // below the next VID step (see weakcells.rs), so σ < 10/7 mV.
+        for kind in PlatformKind::ALL {
+            let p = FaultParams::for_platform(kind);
+            assert!(
+                p.run_jitter_sigma_mv * 7.0 < 10.0,
+                "{kind}: jitter sigma {} too large",
+                p.run_jitter_sigma_mv
+            );
+        }
+    }
+
+    #[test]
+    fn critical_region_spans_the_published_step_count() {
+        // rate(Vmin)/rate(Vcrash) over a 70 mV critical region must shrink
+        // the ~650/Mbit crash rate to below one natural fault in the
+        // largest pool — that is what makes Vmin "first faults appear".
+        let p = FaultParams::for_platform(PlatformKind::Vc707);
+        let pool_bits = 2060.0 * 16384.0;
+        let natural_at_vmin = pool_bits * p.p_crash_per_bit * (-70.0 / p.tau_mv).exp();
+        assert!(
+            natural_at_vmin < 3.0,
+            "natural faults at Vmin {natural_at_vmin}"
+        );
+    }
+}

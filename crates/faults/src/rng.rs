@@ -1,0 +1,75 @@
+//! Deterministic sampling primitives.
+//!
+//! Built on `uvf_fpga::seedmix` (the workspace's single mixing root). The
+//! build environment is offline, so `rand`/`rand_distr` are replaced by
+//! these hand-rolled, bit-stable equivalents: a SplitMix64 sequential
+//! stream and a Box–Muller normal transform. Bit-stability across
+//! platforms matters more here than statistical luxury — every draw is
+//! part of the die identity that checkpoint resume must reproduce.
+
+use uvf_fpga::seedmix::{mix64, unit_f64, unit_open_f64};
+
+/// Sequential SplitMix64 stream (for draws that are naturally ordered,
+/// e.g. the spatial-field harmonic coefficients).
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    #[must_use]
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        mix64(self.state)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        unit_f64(self.next_u64())
+    }
+}
+
+/// Standard normal deviate from a single 64-bit hash (Box–Muller).
+///
+/// Keyed, not sequential: the same hash always yields the same deviate,
+/// which is what per-cell jitter needs for resume bit-identity.
+#[must_use]
+pub fn standard_normal(h: u64) -> f64 {
+    let u1 = unit_open_f64(h);
+    let u2 = unit_f64(mix64(h ^ 0x9e37_79b9_7f4a_7c15));
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uvf_fpga::seedmix::mix;
+
+    #[test]
+    fn stream_is_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn normal_moments_are_sane() {
+        let n = 20_000u64;
+        let (mut sum, mut sum2) = (0.0, 0.0);
+        for i in 0..n {
+            let z = standard_normal(mix(&[0xfeed, i]));
+            sum += z;
+            sum2 += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

@@ -1,0 +1,41 @@
+//! Inverse thermal dependence (ITD, Fig. 8).
+//!
+//! Undervolting faults are retention/timing failures whose margins improve
+//! with temperature, so a hotter die shows *fewer* faults — the opposite of
+//! most reliability folklore and one of the paper's headline observations.
+//! Modeled as a linear shift of every cell's effective threshold.
+
+use crate::params::FaultParams;
+
+/// Signed shift added to every `vfail` at temperature `t_c`, in mV.
+/// Above the calibration reference the shift is negative (thresholds drop,
+/// faults disappear); below it, positive. The per-platform slope is a
+/// ROADMAP calibration item (Fig. 8's two pins).
+#[must_use]
+pub fn itd_shift_mv(params: &FaultParams, t_c: f64) -> f64 {
+    -params.itd_mv_per_c * (t_c - params.t_ref_c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uvf_fpga::PlatformKind;
+
+    #[test]
+    fn hotter_die_lowers_thresholds() {
+        let p = FaultParams::for_platform(PlatformKind::Vc707);
+        assert_eq!(itd_shift_mv(&p, p.t_ref_c), 0.0);
+        assert!(itd_shift_mv(&p, 80.0) < 0.0);
+        assert!(itd_shift_mv(&p, 0.0) > 0.0);
+    }
+
+    #[test]
+    fn slope_magnitude_gives_fig8_scale_reduction() {
+        // 50 → 80 °C must shrink rates by ~3× (Fig. 8): the threshold shift
+        // over 30 °C divided by tau is the log of that factor.
+        let p = FaultParams::for_platform(PlatformKind::Vc707);
+        let shift = itd_shift_mv(&p, 50.0) - itd_shift_mv(&p, 80.0);
+        let factor = (shift / p.tau_mv).exp();
+        assert!((2.0..6.0).contains(&factor), "thermal factor {factor}");
+    }
+}

@@ -1,0 +1,204 @@
+//! Per-cell failure-voltage sampling.
+//!
+//! Every bitcell owns a deterministic threshold `Vfail`, drawn from an
+//! exponential-tail distribution shaped by the variation layers and keyed
+//! by `(chip_seed, bram, row, col)` — the ISSUE-level determinism contract.
+//! Only the tiny "weak" tail with `Vfail` near or above the crash boundary
+//! is materialized; the bulk of the population can never fail while the
+//! board is operational and costs neither memory nor sweep time.
+
+use crate::params::FaultParams;
+use uvf_fpga::seedmix::{mix, mix64, unit_f64, unit_open_f64};
+use uvf_fpga::{BramId, RailLandmarks, BRAM_ROWS, BRAM_WORD_BITS};
+
+const TAG_CELL: u64 = 0x00ce_1101;
+const TAG_POLARITY: u64 = 0x00ce_1102;
+
+/// Cells below `Vcrash - KEEP_MARGIN_MV` are dropped at generation time.
+/// The margin covers everything that can re-expose them: environment noise
+/// (≤ ~15 mV per DESIGN §6b) and run jitter (≤ 4σ ≈ 5 mV).
+pub const KEEP_MARGIN_MV: f64 = 25.0;
+
+/// The `Vmin` sentinel sits `3σ` above `Vmin`: it faults with ≈99.9 %
+/// probability per run *at* `Vmin` yet stays deterministically silent one
+/// VID step higher (params assert `7σ < 10 mV`). It models the weakest
+/// natural cell of the die — the cell whose first flip *defines* `Vmin`.
+pub const SENTINEL_SIGMA_OFFSET: f64 = 3.0;
+
+/// One materialized weak cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeakCell {
+    pub row: u16,
+    pub bit: u8,
+    /// `true` for the dominant `1→0` polarity (99.9 % of cells).
+    pub one_to_zero: bool,
+    /// Failure threshold in mV: the cell flips when the rail (after
+    /// thermal/noise shifts and run jitter) is at or below this.
+    pub vfail_mv: f64,
+}
+
+impl WeakCell {
+    /// Whether a flip of this cell is *observable* given the stored bit:
+    /// `1→0` cells corrupt stored ones, `0→1` cells corrupt stored zeros.
+    #[must_use]
+    pub fn observable(&self, stored_bit: bool) -> bool {
+        self.one_to_zero == stored_bit
+    }
+}
+
+/// Generate the weak-cell population of one BRAM, sorted by descending
+/// `vfail_mv` (ties broken by address) so sweep-time scans can stop early.
+#[must_use]
+pub fn generate_bram(
+    chip_seed: u64,
+    bram: BramId,
+    multiplier: f64,
+    landmarks: RailLandmarks,
+    params: &FaultParams,
+    sentinel: Option<(u16, u8)>,
+) -> Vec<WeakCell> {
+    let vcrash = f64::from(landmarks.vcrash.0);
+    let vmin = f64::from(landmarks.vmin.0);
+    let eff = params.p_crash_per_bit * multiplier;
+    // u <= u_keep  ⟺  vfail >= vcrash - KEEP_MARGIN_MV.
+    let u_keep = eff * (KEEP_MARGIN_MV / params.tau_mv).exp();
+    let base = mix(&[chip_seed, TAG_CELL, u64::from(bram.0)]);
+
+    let mut cells = Vec::new();
+    if eff > 0.0 {
+        for row in 0..BRAM_ROWS as u16 {
+            for bit in 0..BRAM_WORD_BITS as u8 {
+                let idx = u64::from(row) * BRAM_WORD_BITS as u64 + u64::from(bit);
+                let h = mix64(base ^ idx.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                let u = unit_open_f64(h);
+                if u > u_keep {
+                    continue;
+                }
+                // Inverse-CDF of the exponential tail, clamped at Vmin so
+                // the guardband above Vmin stays fault-free by definition.
+                let vfail = (vcrash + params.tau_mv * (eff / u).ln()).min(vmin);
+                let one_to_zero = unit_f64(mix64(h ^ TAG_POLARITY)) < params.one_to_zero_share;
+                cells.push(WeakCell {
+                    row,
+                    bit,
+                    one_to_zero,
+                    vfail_mv: vfail,
+                });
+            }
+        }
+    }
+
+    if let Some((row, bit)) = sentinel {
+        let vfail = vmin + SENTINEL_SIGMA_OFFSET * params.run_jitter_sigma_mv;
+        cells.retain(|c| !(c.row == row && c.bit == bit));
+        cells.push(WeakCell {
+            row,
+            bit,
+            one_to_zero: true,
+            vfail_mv: vfail,
+        });
+    }
+
+    cells.sort_by(|a, b| {
+        b.vfail_mv
+            .total_cmp(&a.vfail_mv)
+            .then(a.row.cmp(&b.row))
+            .then(a.bit.cmp(&b.bit))
+    });
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uvf_fpga::PlatformKind;
+
+    fn landmarks() -> RailLandmarks {
+        PlatformKind::Vc707.descriptor().vccbram
+    }
+
+    fn params() -> FaultParams {
+        FaultParams::for_platform(PlatformKind::Vc707)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_bram(42, BramId(7), 1.0, landmarks(), &params(), None);
+        let b = generate_bram(42, BramId(7), 1.0, landmarks(), &params(), None);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn cells_are_sorted_and_clamped() {
+        let cells = generate_bram(42, BramId(7), 1.0, landmarks(), &params(), None);
+        let vmin = f64::from(landmarks().vmin.0);
+        let floor = f64::from(landmarks().vcrash.0) - KEEP_MARGIN_MV;
+        for w in cells.windows(2) {
+            assert!(w[0].vfail_mv >= w[1].vfail_mv);
+        }
+        for c in &cells {
+            assert!(c.vfail_mv <= vmin && c.vfail_mv >= floor);
+        }
+    }
+
+    #[test]
+    fn expected_count_tracks_multiplier() {
+        let lo = generate_bram(42, BramId(7), 0.5, landmarks(), &params(), None);
+        let hi = generate_bram(42, BramId(7), 2.0, landmarks(), &params(), None);
+        assert!(hi.len() > lo.len());
+        let none = generate_bram(42, BramId(7), 0.0, landmarks(), &params(), None);
+        assert!(none.is_empty(), "immune BRAM has no weak cells");
+    }
+
+    #[test]
+    fn sentinel_is_upserted_above_vmin() {
+        let p = params();
+        let cells = generate_bram(42, BramId(7), 1.0, landmarks(), &p, Some((100, 3)));
+        let vmin = f64::from(landmarks().vmin.0);
+        let s = cells
+            .iter()
+            .find(|c| c.row == 100 && c.bit == 3)
+            .expect("sentinel present");
+        assert!(s.one_to_zero);
+        assert!((s.vfail_mv - (vmin + 3.0 * p.run_jitter_sigma_mv)).abs() < 1e-9);
+        // Sorted-first: nothing outranks the sentinel.
+        assert_eq!(cells[0].vfail_mv, s.vfail_mv);
+    }
+
+    #[test]
+    fn one_to_zero_dominates() {
+        // Pool enough cells to check the 99.9 % polarity share coarsely.
+        let mut total = 0usize;
+        let mut otz = 0usize;
+        for b in 0..200u32 {
+            for c in generate_bram(42, BramId(b), 4.0, landmarks(), &params(), None) {
+                total += 1;
+                if c.one_to_zero {
+                    otz += 1;
+                }
+            }
+        }
+        assert!(total > 5_000, "need a meaningful pool, got {total}");
+        let share = otz as f64 / total as f64;
+        assert!(share > 0.995, "1→0 share {share}");
+    }
+
+    #[test]
+    fn observability_matches_polarity() {
+        let otz = WeakCell {
+            row: 0,
+            bit: 0,
+            one_to_zero: true,
+            vfail_mv: 600.0,
+        };
+        assert!(otz.observable(true) && !otz.observable(false));
+    }
+
+    #[test]
+    fn margin_constant_is_consistent_with_params() {
+        // Keep margin must cover 4σ jitter plus the documented noise knob.
+        let p = params();
+        assert!(KEEP_MARGIN_MV >= 4.0 * p.run_jitter_sigma_mv + 15.0);
+    }
+}

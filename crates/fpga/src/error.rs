@@ -1,0 +1,137 @@
+//! Typed error hierarchy for the board substrate.
+//!
+//! Hand-rolled (`Display` + `std::error::Error` impls, no `thiserror`) per
+//! the workspace's no-extra-deps rule. Library code returns these instead of
+//! panicking: an undervolting harness *expects* the board to fail.
+
+use crate::voltage::{Millivolts, Rail};
+use std::error::Error;
+use std::fmt;
+
+/// Errors of the PMBus command layer.
+///
+/// A crashed board does not NAK politely — the adapter simply stops seeing
+/// the device, which is why [`PmbusError::NoResponse`] exists as its own
+/// variant rather than being folded into an invalid-command error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PmbusError {
+    /// The device did not respond: the board is hung (or the page is dead).
+    NoResponse,
+    /// Command not supported by the UCD9248-like device model.
+    UnsupportedCommand { command: &'static str },
+    /// The addressed rail/page does not exist on this regulator.
+    UnknownPage { rail: Rail },
+}
+
+impl fmt::Display for PmbusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PmbusError::NoResponse => {
+                write!(f, "PMBus device not responding (board hung?)")
+            }
+            PmbusError::UnsupportedCommand { command } => {
+                write!(f, "PMBus command {command} not supported")
+            }
+            PmbusError::UnknownPage { rail } => {
+                write!(f, "PMBus page for rail {rail} not present")
+            }
+        }
+    }
+}
+
+impl Error for PmbusError {}
+
+/// Errors of the board model proper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoardError {
+    /// The board is hung: a rail was driven below its crash boundary (or a
+    /// supply-noise event collapsed it). Only `power_cycle()` recovers it.
+    Crashed {
+        rail: Rail,
+        /// Rail setting that took the board down.
+        at: Millivolts,
+    },
+    /// The regulator cannot produce the requested voltage.
+    VoltageOutOfRange {
+        rail: Rail,
+        requested: Millivolts,
+        min: Millivolts,
+        max: Millivolts,
+    },
+    /// An operation did not complete within its (simulated) deadline. This
+    /// is what a watchdog turns a hang into.
+    Timeout {
+        operation: &'static str,
+        waited_ms: u64,
+    },
+    /// A PMBus-level failure surfaced through a board operation.
+    Pmbus(PmbusError),
+    /// Address outside the modeled BRAM population.
+    AddressOutOfRange { bram: u32, row: u32 },
+}
+
+impl fmt::Display for BoardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoardError::Crashed { rail, at } => {
+                write!(
+                    f,
+                    "board hung: {rail} driven to {at} (below crash boundary)"
+                )
+            }
+            BoardError::VoltageOutOfRange {
+                rail,
+                requested,
+                min,
+                max,
+            } => write!(
+                f,
+                "regulator cannot set {rail} to {requested} (range {min}..{max})"
+            ),
+            BoardError::Timeout {
+                operation,
+                waited_ms,
+            } => write!(f, "{operation} timed out after {waited_ms} ms"),
+            BoardError::Pmbus(e) => write!(f, "PMBus failure: {e}"),
+            BoardError::AddressOutOfRange { bram, row } => {
+                write!(f, "address out of range: BRAM {bram} row {row}")
+            }
+        }
+    }
+}
+
+impl Error for BoardError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BoardError::Pmbus(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PmbusError> for BoardError {
+    fn from(e: PmbusError) -> BoardError {
+        BoardError::Pmbus(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = BoardError::Crashed {
+            rail: Rail::Vccbram,
+            at: Millivolts(530),
+        };
+        let s = e.to_string();
+        assert!(s.contains("VCCBRAM") && s.contains("0.53 V"), "{s}");
+    }
+
+    #[test]
+    fn source_chains_pmbus() {
+        let e = BoardError::from(PmbusError::NoResponse);
+        assert!(Error::source(&e).is_some());
+    }
+}

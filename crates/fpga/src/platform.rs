@@ -1,0 +1,200 @@
+//! Table-I platform descriptors: the four boards of the study.
+//!
+//! `VCCBRAM` landmarks are the calibration targets of DESIGN.md §5; the
+//! `VCCINT` landmarks are chosen so the four-platform mean guardband is the
+//! paper's 34 % (per-platform `VCCINT` values are not published).
+
+use crate::voltage::{Millivolts, Rail, RailLandmarks};
+use std::fmt;
+
+/// Geometry of every BRAM in the study: 1024 rows of 16-bit words.
+pub const BRAM_ROWS: usize = 1024;
+pub const BRAM_WORD_BITS: usize = 16;
+pub const BRAM_BITS: usize = BRAM_ROWS * BRAM_WORD_BITS;
+
+/// The four boards of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlatformKind {
+    Vc707,
+    Zc702,
+    Kc705A,
+    Kc705B,
+}
+
+impl PlatformKind {
+    pub const ALL: [PlatformKind; 4] = [
+        PlatformKind::Vc707,
+        PlatformKind::Zc702,
+        PlatformKind::Kc705A,
+        PlatformKind::Kc705B,
+    ];
+
+    /// Stable short name used in records, checkpoints and CLIs.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PlatformKind::Vc707 => "vc707",
+            PlatformKind::Zc702 => "zc702",
+            PlatformKind::Kc705A => "kc705a",
+            PlatformKind::Kc705B => "kc705b",
+        }
+    }
+
+    /// Inverse of [`PlatformKind::name`].
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<PlatformKind> {
+        PlatformKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+
+    #[must_use]
+    pub fn descriptor(self) -> Platform {
+        Platform::new(self)
+    }
+}
+
+impl fmt::Display for PlatformKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformKind::Vc707 => write!(f, "VC707"),
+            PlatformKind::Zc702 => write!(f, "ZC702"),
+            PlatformKind::Kc705A => write!(f, "KC705-A"),
+            PlatformKind::Kc705B => write!(f, "KC705-B"),
+        }
+    }
+}
+
+/// Static description of one board: Table I plus the Fig.-1 landmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Platform {
+    pub kind: PlatformKind,
+    pub device: &'static str,
+    /// Number of 18 Kb BRAM blocks modeled (Table I).
+    pub bram_count: usize,
+    pub vccbram: RailLandmarks,
+    pub vccint: RailLandmarks,
+    /// Die identity: fixes every process-variation draw of the fault model.
+    /// KC705-A and KC705-B are identical parts with different dies, which is
+    /// exactly a different chip seed.
+    pub default_chip_seed: u64,
+}
+
+impl Platform {
+    #[must_use]
+    pub fn new(kind: PlatformKind) -> Platform {
+        let lm = |vmin, vcrash| RailLandmarks {
+            nominal: Millivolts::NOMINAL,
+            vmin: Millivolts(vmin),
+            vcrash: Millivolts(vcrash),
+        };
+        match kind {
+            PlatformKind::Vc707 => Platform {
+                kind,
+                device: "Virtex-7 XC7VX485T",
+                bram_count: 2060,
+                vccbram: lm(610, 540),
+                vccint: lm(670, 590),
+                default_chip_seed: 0x7c70_7001_d1e5_eed1,
+            },
+            PlatformKind::Zc702 => Platform {
+                kind,
+                device: "Zynq-7000 XC7Z020",
+                bram_count: 280,
+                vccbram: lm(630, 560),
+                vccint: lm(650, 580),
+                default_chip_seed: 0x2c70_2002_d1e5_eed2,
+            },
+            PlatformKind::Kc705A => Platform {
+                kind,
+                device: "Kintex-7 XC7K325T",
+                bram_count: 890,
+                vccbram: lm(600, 530),
+                vccint: lm(660, 590),
+                default_chip_seed: 0xc705_a003_d1e5_eed3,
+            },
+            PlatformKind::Kc705B => Platform {
+                kind,
+                device: "Kintex-7 XC7K325T",
+                bram_count: 890,
+                vccbram: lm(590, 520),
+                vccint: lm(660, 580),
+                default_chip_seed: 0xc705_b004_d1e5_eed4,
+            },
+        }
+    }
+
+    #[must_use]
+    pub fn rail(&self, rail: Rail) -> RailLandmarks {
+        match rail {
+            Rail::Vccbram => self.vccbram,
+            Rail::Vccint => self.vccint,
+            // VCCAUX is never underscaled: give it a degenerate landmark set
+            // whose critical region is empty and whose crash boundary sits at
+            // the regulator floor, so region queries stay total.
+            Rail::Vccaux => RailLandmarks {
+                nominal: Millivolts::NOMINAL,
+                vmin: Millivolts(0),
+                vcrash: Millivolts(0),
+            },
+        }
+    }
+
+    /// Total modeled BRAM capacity in bits.
+    #[must_use]
+    pub fn total_bits(&self) -> u64 {
+        self.bram_count as u64 * BRAM_BITS as u64
+    }
+
+    /// Total modeled BRAM capacity in Mbit (the unit of the paper's rates).
+    #[must_use]
+    pub fn total_mbit(&self) -> f64 {
+        self.total_bits() as f64 / 1.0e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_bram_counts() {
+        let counts: Vec<usize> = PlatformKind::ALL
+            .iter()
+            .map(|k| k.descriptor().bram_count)
+            .collect();
+        assert_eq!(counts, vec![2060, 280, 890, 890]);
+    }
+
+    #[test]
+    fn mean_guardbands_match_fig1() {
+        let mean = |rail: Rail| {
+            PlatformKind::ALL
+                .iter()
+                .map(|k| k.descriptor().rail(rail).guardband_fraction())
+                .sum::<f64>()
+                / 4.0
+        };
+        let bram = mean(Rail::Vccbram);
+        let int = mean(Rail::Vccint);
+        assert!((bram - 0.3925).abs() < 1e-9, "VCCBRAM mean {bram}");
+        assert!((int - 0.34).abs() < 1e-9, "VCCINT mean {int}");
+    }
+
+    #[test]
+    fn chip_seeds_are_distinct() {
+        let mut seeds: Vec<u64> = PlatformKind::ALL
+            .iter()
+            .map(|k| k.descriptor().default_chip_seed)
+            .collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 4);
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for kind in PlatformKind::ALL {
+            assert_eq!(PlatformKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(PlatformKind::from_name("vc709"), None);
+    }
+}

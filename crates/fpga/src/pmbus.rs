@@ -1,0 +1,84 @@
+//! PMBus command layer: the wire protocol of the experiment driver.
+//!
+//! Listing 1 of the paper talks to the regulator exclusively through PMBus
+//! (`VOUT_COMMAND`, `READ_VOUT`, `READ_TEMPERATURE_2`), so the sweep driver
+//! in `uvf-characterize` is written against this command surface rather
+//! than against board internals. When the board is hung the bus goes
+//! silent: every command returns [`PmbusError::NoResponse`] instead of
+//! data, which is what the harness's watchdog turns into a timeout.
+
+use crate::error::PmbusError;
+use crate::voltage::{Millivolts, Rail};
+
+/// The PMBus commands the study needs (a subset of the UCD9248 set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PmbusCommand {
+    /// `VOUT_COMMAND` — program a rail's output voltage.
+    VoutCommand { rail: Rail, v: Millivolts },
+    /// `READ_VOUT` — read back a rail's programmed voltage.
+    ReadVout { rail: Rail },
+    /// `READ_TEMPERATURE_2` — external (die) temperature sensor.
+    ReadTemperature2,
+    /// `CLEAR_FAULTS` — acknowledged and ignored by the model (the real
+    /// bring-up scripts issue it; it has no observable effect here).
+    ClearFaults,
+}
+
+impl PmbusCommand {
+    /// Mnemonic of the underlying PMBus command code.
+    #[must_use]
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            PmbusCommand::VoutCommand { .. } => "VOUT_COMMAND",
+            PmbusCommand::ReadVout { .. } => "READ_VOUT",
+            PmbusCommand::ReadTemperature2 => "READ_TEMPERATURE_2",
+            PmbusCommand::ClearFaults => "CLEAR_FAULTS",
+        }
+    }
+}
+
+/// Successful replies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PmbusResponse {
+    /// Write-style commands acknowledge without data.
+    Ack,
+    /// `READ_VOUT` reply.
+    Vout(Millivolts),
+    /// `READ_TEMPERATURE_2` reply in °C.
+    TemperatureC(f64),
+}
+
+impl PmbusResponse {
+    /// Convenience accessor for `READ_VOUT` replies.
+    pub fn vout(self) -> Result<Millivolts, PmbusError> {
+        match self {
+            PmbusResponse::Vout(v) => Ok(v),
+            _ => Err(PmbusError::UnsupportedCommand {
+                command: "expected READ_VOUT reply",
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnemonics() {
+        let cmd = PmbusCommand::VoutCommand {
+            rail: Rail::Vccbram,
+            v: Millivolts(540),
+        };
+        assert_eq!(cmd.mnemonic(), "VOUT_COMMAND");
+    }
+
+    #[test]
+    fn vout_accessor() {
+        assert_eq!(
+            PmbusResponse::Vout(Millivolts(610)).vout().unwrap(),
+            Millivolts(610)
+        );
+        assert!(PmbusResponse::Ack.vout().is_err());
+    }
+}

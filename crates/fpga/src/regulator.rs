@@ -1,0 +1,109 @@
+//! UCD9248-like rail controller.
+//!
+//! The paper drives a TI UCD9248 through PMBus; the experiment only needs
+//! set-voltage / read-voltage in the 10 mV VID steps the real part exposes.
+//! The regulator knows nothing about crash semantics — it will happily
+//! program a lethal voltage, exactly like the real one. Crash behaviour
+//! lives in [`crate::board::Board`].
+
+use crate::error::BoardError;
+use crate::voltage::{Millivolts, Rail};
+
+/// VID step of the voltage sweep (10 mV, Listing 1).
+pub const VID_STEP_MV: u32 = 10;
+
+/// Programmable output range of the rail controller.
+pub const VOUT_MIN: Millivolts = Millivolts(400);
+pub const VOUT_MAX: Millivolts = Millivolts(1100);
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Regulator {
+    vccbram: Millivolts,
+    vccint: Millivolts,
+    vccaux: Millivolts,
+}
+
+impl Regulator {
+    /// All rails at the 1.00 V nominal of Table I.
+    #[must_use]
+    pub fn at_nominal() -> Regulator {
+        Regulator {
+            vccbram: Millivolts::NOMINAL,
+            vccint: Millivolts::NOMINAL,
+            vccaux: Millivolts::NOMINAL,
+        }
+    }
+
+    #[must_use]
+    pub fn vout(&self, rail: Rail) -> Millivolts {
+        match rail {
+            Rail::Vccbram => self.vccbram,
+            Rail::Vccint => self.vccint,
+            Rail::Vccaux => self.vccaux,
+        }
+    }
+
+    /// Program a rail. The request must lie on a VID step within the
+    /// programmable range; out-of-range requests are rejected (the real
+    /// part clamps via OVP/UVP faults — a typed error is the honest model).
+    pub fn set_vout(&mut self, rail: Rail, v: Millivolts) -> Result<Millivolts, BoardError> {
+        if v < VOUT_MIN || v > VOUT_MAX {
+            return Err(BoardError::VoltageOutOfRange {
+                rail,
+                requested: v,
+                min: VOUT_MIN,
+                max: VOUT_MAX,
+            });
+        }
+        // Snap to the VID grid (floor, like the real DAC).
+        let snapped = Millivolts(v.0 - v.0 % VID_STEP_MV);
+        let slot = match rail {
+            Rail::Vccbram => &mut self.vccbram,
+            Rail::Vccint => &mut self.vccint,
+            Rail::Vccaux => &mut self.vccaux,
+        };
+        *slot = snapped;
+        Ok(snapped)
+    }
+
+    /// Power-cycle: every rail returns to nominal.
+    pub fn reset_to_nominal(&mut self) {
+        *self = Regulator::at_nominal();
+    }
+}
+
+impl Default for Regulator {
+    fn default() -> Regulator {
+        Regulator::at_nominal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_snaps_to_vid_grid() {
+        let mut r = Regulator::at_nominal();
+        let got = r.set_vout(Rail::Vccbram, Millivolts(613)).unwrap();
+        assert_eq!(got, Millivolts(610));
+        assert_eq!(r.vout(Rail::Vccbram), Millivolts(610));
+    }
+
+    #[test]
+    fn out_of_range_is_typed_error() {
+        let mut r = Regulator::at_nominal();
+        let err = r.set_vout(Rail::Vccint, Millivolts(250)).unwrap_err();
+        assert!(matches!(err, BoardError::VoltageOutOfRange { .. }));
+        // The rail is untouched after a rejected request.
+        assert_eq!(r.vout(Rail::Vccint), Millivolts::NOMINAL);
+    }
+
+    #[test]
+    fn reset_restores_nominal() {
+        let mut r = Regulator::at_nominal();
+        r.set_vout(Rail::Vccbram, Millivolts(540)).unwrap();
+        r.reset_to_nominal();
+        assert_eq!(r.vout(Rail::Vccbram), Millivolts::NOMINAL);
+    }
+}
