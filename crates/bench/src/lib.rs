@@ -1,0 +1,274 @@
+//! `uvf-bench` — std-only timing harness for the simulator's hot paths.
+//!
+//! No Criterion in an offline workspace, so this is the minimal honest
+//! subset: per-sample wall-clock timing over a work closure, warmup
+//! iterations to fault in caches and branch predictors, the **median** of
+//! N samples as the reported statistic (robust against scheduler noise on
+//! shared runners), and byte-stable JSON output so CI can archive
+//! `BENCH_sweep.json` and later PRs can diff perf trajectories.
+//!
+//! The harness measures; it does not judge. Speedup claims are derived
+//! ratios stored next to the raw samples, and assertions about them live
+//! in the caller (the `uvf-bench` binary prints them; CI archives them).
+
+use std::hint::black_box;
+use std::time::Instant;
+use uvf_characterize::Json;
+
+/// Global sizing of a suite run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchOptions {
+    /// Unmeasured iterations before sampling starts.
+    pub warmup_iters: u32,
+    /// Measured samples; the median is the reported statistic.
+    pub samples: u32,
+    /// Reduced problem sizes (CI smoke mode).
+    pub quick: bool,
+}
+
+impl BenchOptions {
+    #[must_use]
+    pub fn full() -> BenchOptions {
+        BenchOptions {
+            warmup_iters: 3,
+            samples: 9,
+            quick: false,
+        }
+    }
+
+    #[must_use]
+    pub fn quick() -> BenchOptions {
+        BenchOptions {
+            warmup_iters: 1,
+            samples: 5,
+            quick: true,
+        }
+    }
+}
+
+/// One benchmark's timing summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    pub name: String,
+    /// Work units per sample (words corrupted, runs measured, …); lets the
+    /// JSON carry per-op times without losing the raw totals.
+    pub ops_per_sample: u64,
+    pub samples_ns: Vec<u64>,
+    pub median_ns: u64,
+    pub min_ns: u64,
+    pub max_ns: u64,
+}
+
+impl Measurement {
+    /// Median nanoseconds per single work unit.
+    #[must_use]
+    pub fn ns_per_op(&self) -> f64 {
+        self.median_ns as f64 / self.ops_per_sample.max(1) as f64
+    }
+
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("ops_per_sample", Json::UInt(self.ops_per_sample)),
+            ("median_ns", Json::UInt(self.median_ns)),
+            ("min_ns", Json::UInt(self.min_ns)),
+            ("max_ns", Json::UInt(self.max_ns)),
+            ("ns_per_op", Json::Float(self.ns_per_op())),
+            (
+                "samples_ns",
+                Json::Arr(self.samples_ns.iter().map(|&n| Json::UInt(n)).collect()),
+            ),
+        ])
+    }
+}
+
+/// Median of a sample set (odd or even), without mutating the input.
+#[must_use]
+pub fn median_ns(samples: &[u64]) -> u64 {
+    assert!(!samples.is_empty(), "median of no samples");
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2
+    }
+}
+
+/// Time `work` (`warmup` unmeasured + `samples` measured calls); the
+/// closure's return value is routed through [`black_box`] so the optimizer
+/// cannot delete the measured work.
+pub fn bench<R>(
+    name: &str,
+    ops_per_sample: u64,
+    opts: &BenchOptions,
+    mut work: impl FnMut() -> R,
+) -> Measurement {
+    for _ in 0..opts.warmup_iters {
+        black_box(work());
+    }
+    let samples_ns: Vec<u64> = (0..opts.samples.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            black_box(work());
+            u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        })
+        .collect();
+    let median = median_ns(&samples_ns);
+    let min = *samples_ns.iter().min().expect("samples nonempty");
+    let max = *samples_ns.iter().max().expect("samples nonempty");
+    Measurement {
+        name: name.to_string(),
+        ops_per_sample,
+        samples_ns,
+        median_ns: median,
+        min_ns: min,
+        max_ns: max,
+    }
+}
+
+/// A named scalar derived from measurements (speedup ratios etc.).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Derived {
+    pub name: String,
+    pub value: f64,
+}
+
+/// The whole suite's output: raw measurements + derived ratios + context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Suite {
+    pub quick: bool,
+    pub threads: usize,
+    pub measurements: Vec<Measurement>,
+    pub derived: Vec<Derived>,
+}
+
+impl Suite {
+    #[must_use]
+    pub fn new(quick: bool, threads: usize) -> Suite {
+        Suite {
+            quick,
+            threads,
+            measurements: Vec::new(),
+            derived: Vec::new(),
+        }
+    }
+
+    pub fn record(&mut self, m: Measurement) -> &Measurement {
+        self.measurements.push(m);
+        self.measurements.last().expect("just pushed")
+    }
+
+    pub fn derive(&mut self, name: &str, value: f64) {
+        self.derived.push(Derived {
+            name: name.to_string(),
+            value,
+        });
+    }
+
+    #[must_use]
+    pub fn derived_value(&self, name: &str) -> Option<f64> {
+        self.derived
+            .iter()
+            .find(|d| d.name == name)
+            .map(|d| d.value)
+    }
+
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        Json::obj(vec![
+            ("version", Json::UInt(1)),
+            ("quick", Json::Bool(self.quick)),
+            ("threads", Json::UInt(self.threads as u64)),
+            (
+                "benches",
+                Json::Arr(self.measurements.iter().map(Measurement::to_json).collect()),
+            ),
+            (
+                "derived",
+                Json::obj(
+                    self.derived
+                        .iter()
+                        .map(|d| (d.name.as_str(), Json::Float(d.value)))
+                        .collect(),
+                ),
+            ),
+        ])
+        .to_string()
+    }
+
+    /// Atomic write (temp + rename), like the sweep checkpoints.
+    pub fn write(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, self.to_json_string())?;
+        std::fs::rename(&tmp, path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_handles_odd_and_even() {
+        assert_eq!(median_ns(&[5]), 5);
+        assert_eq!(median_ns(&[3, 1, 2]), 2);
+        assert_eq!(median_ns(&[4, 1, 3, 2]), 2);
+    }
+
+    #[test]
+    fn bench_counts_samples_and_orders_stats() {
+        let opts = BenchOptions {
+            warmup_iters: 2,
+            samples: 7,
+            quick: true,
+        };
+        let mut calls = 0u32;
+        let m = bench("spin", 10, &opts, || {
+            calls += 1;
+            std::hint::black_box((0..100u64).sum::<u64>())
+        });
+        assert_eq!(calls, 9, "warmup + samples");
+        assert_eq!(m.samples_ns.len(), 7);
+        assert!(m.min_ns <= m.median_ns && m.median_ns <= m.max_ns);
+        assert!(m.ns_per_op() >= 0.0);
+    }
+
+    #[test]
+    fn suite_json_is_parseable_and_carries_derived() {
+        let mut suite = Suite::new(true, 4);
+        suite.record(Measurement {
+            name: "x".into(),
+            ops_per_sample: 2,
+            samples_ns: vec![10, 20, 30],
+            median_ns: 20,
+            min_ns: 10,
+            max_ns: 30,
+        });
+        suite.derive("speedup", 12.5);
+        assert_eq!(suite.derived_value("speedup"), Some(12.5));
+        let parsed = Json::parse(&suite.to_json_string()).unwrap();
+        assert_eq!(parsed.get("threads").and_then(Json::as_u64), Some(4));
+        let speedup = parsed
+            .get("derived")
+            .and_then(|d| d.get("speedup"))
+            .and_then(Json::as_f64);
+        assert_eq!(speedup, Some(12.5));
+    }
+
+    #[test]
+    fn suite_write_is_atomic() {
+        let dir = std::env::temp_dir().join(format!("uvf-bench-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_sweep.json");
+        let suite = Suite::new(false, 1);
+        suite.write(&path).unwrap();
+        assert!(path.exists());
+        assert!(!dir.join("BENCH_sweep.json.tmp").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

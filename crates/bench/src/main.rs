@@ -1,0 +1,284 @@
+//! The `uvf-bench` binary: measures the fault-injection kernels and the
+//! sweep engine, prints a table, and writes `BENCH_sweep.json`.
+//!
+//! Benchmarks:
+//!
+//! * `corrupt_word/*` — per-word read-back corruption: the seed-era linear
+//!   scan vs the row-indexed path vs a prebuilt [`FaultMask`]; the
+//!   `bulk_word_corruption_speedup` ratio compares the linear baseline to
+//!   the bulk pipeline (resolve the condition once, then the row-indexed
+//!   scan) — the path every bulk consumer actually takes.
+//! * `mask_build` — cost of snapshotting a whole die into masks.
+//! * `platform_scan/*` — one full-pool probe scan, sequential vs fanned
+//!   over all cores.
+//! * `campaign/*` — the 4-board Table-I campaign, sequential vs the
+//!   work-stealing pool (`campaign_speedup` is wall-clock, so it only
+//!   exceeds 1 on multi-core hosts).
+//!
+//! Usage: `uvf-bench [--quick] [--threads N] [--out PATH]`
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use uvf_bench::{bench, BenchOptions, Measurement, Suite};
+use uvf_characterize::{available_threads, Campaign, Probe, RecoveryPolicy, SweepConfig};
+use uvf_faults::{run_seed, FaultModel, ReadCondition};
+use uvf_fpga::{Board, BramId, Millivolts, PlatformKind, Rail, BRAM_ROWS};
+
+struct Args {
+    quick: bool,
+    threads: usize,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        quick: false,
+        threads: available_threads(),
+        out: PathBuf::from("BENCH_sweep.json"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                args.threads = v.parse().map_err(|_| format!("bad thread count {v}"))?;
+            }
+            "--out" => {
+                args.out = PathBuf::from(it.next().ok_or("--out needs a path")?);
+            }
+            "--help" | "-h" => {
+                return Err("usage: uvf-bench [--quick] [--threads N] [--out PATH]".into());
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn print_measurement(m: &Measurement) {
+    println!(
+        "  {:<44} median {:>12.1} µs  ({:>8.1} ns/op, {} samples)",
+        m.name,
+        m.median_ns as f64 / 1e3,
+        m.ns_per_op(),
+        m.samples_ns.len()
+    );
+}
+
+/// Condition at `Vcrash` — the worst case: the largest failing population.
+fn vcrash_condition(model: &FaultModel) -> ReadCondition {
+    let vcrash = model.platform().vccbram.vcrash;
+    ReadCondition {
+        v: vcrash,
+        temperature_c: 25.0,
+        run_seed: run_seed(model.chip_seed(), Rail::Vccbram, vcrash, 0),
+    }
+}
+
+/// Per-word corruption kernels on the paper's largest die (VC707).
+fn bench_word_kernels(suite: &mut Suite, opts: &BenchOptions) {
+    let model = FaultModel::new(PlatformKind::Vc707.descriptor());
+    let cond = vcrash_condition(&model);
+    let brams: u32 = if opts.quick { 8 } else { 64 };
+    let rows = BRAM_ROWS as u16;
+    let ops = u64::from(brams) * u64::from(rows);
+    println!(
+        "corrupt_word kernels: VC707, {brams} BRAMs x {rows} rows at Vcrash ({} weak cells on die)",
+        model.total_weak_cells()
+    );
+
+    let linear = bench("corrupt_word/linear_scan_seed_baseline", ops, opts, || {
+        let mut acc = 0u64;
+        for b in 0..brams {
+            for row in 0..rows {
+                acc ^= u64::from(model.corrupt_word_linear(BramId(b), row, 0xFFFF, &cond));
+            }
+        }
+        acc
+    });
+    print_measurement(suite.record(linear));
+
+    let indexed = bench("corrupt_word/row_indexed", ops, opts, || {
+        let mut acc = 0u64;
+        for b in 0..brams {
+            for row in 0..rows {
+                acc ^= u64::from(model.corrupt_word(BramId(b), row, 0xFFFF, &cond));
+            }
+        }
+        acc
+    });
+    print_measurement(suite.record(indexed));
+
+    let resolved = model.resolve(&cond);
+    let indexed_resolved = bench("corrupt_word/row_indexed_resolved", ops, opts, || {
+        let mut acc = 0u64;
+        for b in 0..brams {
+            for row in 0..rows {
+                acc ^= u64::from(model.corrupt_word_resolved(BramId(b), row, 0xFFFF, &resolved));
+            }
+        }
+        acc
+    });
+    print_measurement(suite.record(indexed_resolved));
+
+    let masks: Vec<_> = (0..brams)
+        .map(|b| model.fault_mask(BramId(b), &resolved))
+        .collect();
+    let masked = bench("corrupt_word/prebuilt_mask", ops, opts, || {
+        let mut acc = 0u64;
+        for mask in &masks {
+            for row in 0..rows {
+                acc ^= u64::from(mask.apply(row, 0xFFFF));
+            }
+        }
+        acc
+    });
+    print_measurement(suite.record(masked));
+
+    let build = bench(
+        "mask_build/full_die",
+        model.platform().bram_count as u64,
+        opts,
+        || model.fault_masks(&cond).len(),
+    );
+    print_measurement(suite.record(build));
+
+    // Bulk corruption means many words under one condition, so the bulk
+    // ratio is linear vs resolve-once + row-indexed (measurement 2); the
+    // per-call `corrupt_word` (measurement 1) re-resolves every word and
+    // is reported but not the headline.
+    let linear_ns = suite.measurements[0].median_ns as f64;
+    let resolved_ns = suite.measurements[2].median_ns.max(1) as f64;
+    let masked_ns = suite.measurements[3].median_ns.max(1) as f64;
+    suite.derive("bulk_word_corruption_speedup", linear_ns / resolved_ns);
+    suite.derive("mask_vs_linear_speedup", linear_ns / masked_ns);
+}
+
+/// One full-pool probe scan, sequential vs parallel.
+fn bench_platform_scan(suite: &mut Suite, opts: &BenchOptions, threads: usize) {
+    let kind = if opts.quick {
+        PlatformKind::Zc702
+    } else {
+        PlatformKind::Vc707
+    };
+    let platform = kind.descriptor();
+    let model = FaultModel::new(platform);
+    let cfg = SweepConfig::quick(Rail::Vccbram, 1);
+    let vcrash = platform.vccbram.vcrash;
+    let mut board = Board::new(platform);
+    Probe::Bram.arm(&mut board, cfg.pattern).expect("arm probe");
+    board
+        .set_rail_mv(Rail::Vccbram, vcrash)
+        .expect("set Vcrash");
+    println!(
+        "platform scan: {kind} full pool ({} BRAMs) at Vcrash",
+        platform.bram_count
+    );
+
+    let sequential = bench(
+        "platform_scan/sequential",
+        platform.bram_count as u64,
+        opts,
+        || {
+            Probe::Bram
+                .sample(&board, &model, &cfg, vcrash, 0)
+                .expect("sample")
+        },
+    );
+    print_measurement(suite.record(sequential));
+
+    let name = format!("platform_scan/parallel_{threads}_threads");
+    let parallel = bench(&name, platform.bram_count as u64, opts, || {
+        Probe::Bram
+            .sample_with_threads(&board, &model, &cfg, vcrash, 0, threads)
+            .expect("sample")
+    });
+    print_measurement(suite.record(parallel));
+
+    let n = suite.measurements.len();
+    let seq_ns = suite.measurements[n - 2].median_ns as f64;
+    let par_ns = suite.measurements[n - 1].median_ns.max(1) as f64;
+    suite.derive("parallel_scan_speedup", seq_ns / par_ns);
+}
+
+/// The 4-board Table-I campaign, sequential vs the work-stealing pool.
+fn bench_campaign(suite: &mut Suite, opts: &BenchOptions, threads: usize) {
+    let runs_per_level = if opts.quick { 2 } else { 5 };
+    let mut campaign = Campaign::new(RecoveryPolicy::default());
+    for kind in PlatformKind::ALL {
+        let mut cfg = SweepConfig::quick(Rail::Vccbram, runs_per_level);
+        cfg.start = Millivolts(kind.descriptor().vccbram.vmin.0 + 30);
+        campaign.push(uvf_characterize::CampaignJob::new(kind, cfg));
+    }
+    println!("campaign: 4 boards, {runs_per_level} runs/level, vmin+30 ladder");
+
+    // Campaign runs are heavier; halve the sample count.
+    let campaign_opts = BenchOptions {
+        samples: opts.samples.div_ceil(2),
+        ..*opts
+    };
+    let sequential = bench("campaign/sequential_4_boards", 4, &campaign_opts, || {
+        campaign.run_sequential().expect("campaign").len()
+    });
+    print_measurement(suite.record(sequential));
+
+    let name = format!("campaign/parallel_{threads}_board_threads");
+    let parallel = bench(&name, 4, &campaign_opts, || {
+        campaign.run(threads).expect("campaign").len()
+    });
+    print_measurement(suite.record(parallel));
+
+    let n = suite.measurements.len();
+    let seq_ns = suite.measurements[n - 2].median_ns as f64;
+    let par_ns = suite.measurements[n - 1].median_ns.max(1) as f64;
+    suite.derive("campaign_speedup", seq_ns / par_ns);
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let opts = if args.quick {
+        BenchOptions::quick()
+    } else {
+        BenchOptions::full()
+    };
+    let threads = args.threads.max(1);
+    println!(
+        "uvf-bench: {} mode, {} host threads, {} samples/bench\n",
+        if args.quick { "quick" } else { "full" },
+        threads,
+        opts.samples
+    );
+
+    let mut suite = Suite::new(args.quick, threads);
+    bench_word_kernels(&mut suite, &opts);
+    println!();
+    bench_platform_scan(&mut suite, &opts, threads);
+    println!();
+    bench_campaign(&mut suite, &opts, threads);
+
+    println!("\nderived:");
+    for d in &suite.derived {
+        println!("  {:<32} {:>8.2}x", d.name, d.value);
+    }
+    if threads < 4 {
+        println!("  (campaign/scan speedups need >= 4 cores to show; this host has {threads})");
+    }
+
+    match suite.write(&args.out) {
+        Ok(()) => {
+            println!("\nwrote {}", args.out.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot write {}: {e}", args.out.display());
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Multi-board campaign runner: one crash-resilient [`Harness`] per die on
+//! a work-stealing task queue.
+//!
+//! The paper characterizes four independent boards (Table I); a campaign
+//! runs each board's sweep as one job. Jobs are pulled from a shared
+//! atomic cursor by a pool of scoped worker threads — dynamic scheduling,
+//! because sweep costs differ wildly across platforms (the VC707's BRAM
+//! pool is 7× the ZC702's) — and results land in slots indexed by job
+//! position, so the merged output is **bit-identical** to running the same
+//! jobs sequentially, regardless of scheduling.
+//!
+//! With a shared checkpoint directory every job checkpoints exactly like a
+//! standalone harness (same fingerprint guard, same atomic writes): a
+//! campaign killed mid-flight resumes every unfinished board from its file
+//! and still produces the sequential baseline's bytes.
+
+use crate::guardband::GuardbandReport;
+use crate::harness::{Harness, HarnessError, RecoveryPolicy};
+use crate::record::{SweepOutcome, SweepRecord};
+use crate::sweep::SweepConfig;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use uvf_fpga::{Board, PlatformKind};
+
+/// One board's sweep within a campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CampaignJob {
+    pub kind: PlatformKind,
+    /// Die identity; `None` uses the platform's default die.
+    pub chip_seed: Option<u64>,
+    pub cfg: SweepConfig,
+}
+
+impl CampaignJob {
+    #[must_use]
+    pub fn new(kind: PlatformKind, cfg: SweepConfig) -> CampaignJob {
+        CampaignJob {
+            kind,
+            chip_seed: None,
+            cfg,
+        }
+    }
+
+    fn board(&self) -> Board {
+        let platform = self.kind.descriptor();
+        match self.chip_seed {
+            Some(seed) => Board::with_chip_seed(platform, seed),
+            None => Board::new(platform),
+        }
+    }
+
+    fn seed(&self) -> u64 {
+        self.chip_seed
+            .unwrap_or(self.kind.descriptor().default_chip_seed)
+    }
+
+    /// Checkpoint filename of this job inside the campaign directory:
+    /// unique per (platform, rail, pattern, die), stable across resumes.
+    #[must_use]
+    pub fn checkpoint_name(&self) -> String {
+        format!(
+            "{}_{}_{}_{:016x}.json",
+            self.kind.name(),
+            self.cfg.rail.name(),
+            self.cfg.pattern.name(),
+            self.seed(),
+        )
+    }
+}
+
+/// Result of one job, in job order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignEntry {
+    pub job: CampaignJob,
+    pub outcome: SweepOutcome,
+    pub record: SweepRecord,
+    pub report: GuardbandReport,
+    /// Simulated milliseconds this board's sweep took.
+    pub sim_ms: u64,
+}
+
+/// A set of independent board sweeps executed by a worker pool.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    jobs: Vec<CampaignJob>,
+    policy: RecoveryPolicy,
+    checkpoint_dir: Option<PathBuf>,
+    scan_threads: usize,
+}
+
+impl Campaign {
+    #[must_use]
+    pub fn new(policy: RecoveryPolicy) -> Campaign {
+        Campaign {
+            jobs: Vec::new(),
+            policy,
+            checkpoint_dir: None,
+            scan_threads: 1,
+        }
+    }
+
+    /// The paper's Table-I setup: the same sweep on all four boards.
+    #[must_use]
+    pub fn all_platforms(cfg: SweepConfig, policy: RecoveryPolicy) -> Campaign {
+        let mut campaign = Campaign::new(policy);
+        for kind in PlatformKind::ALL {
+            campaign.push(CampaignJob::new(kind, cfg));
+        }
+        campaign
+    }
+
+    pub fn push(&mut self, job: CampaignJob) -> &mut Campaign {
+        self.jobs.push(job);
+        self
+    }
+
+    #[must_use]
+    pub fn jobs(&self) -> &[CampaignJob] {
+        &self.jobs
+    }
+
+    /// Checkpoint every job into `dir` (created on run). A rerun after a
+    /// kill resumes each unfinished board from its file.
+    #[must_use]
+    pub fn with_checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Campaign {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// Per-harness probe-scan fan-out (composes with the board-level pool:
+    /// total workers ≈ `board_threads × scan_threads`).
+    #[must_use]
+    pub fn with_scan_threads(mut self, threads: usize) -> Campaign {
+        self.scan_threads = threads.max(1);
+        self
+    }
+
+    fn run_job(&self, job: &CampaignJob) -> Result<CampaignEntry, HarnessError> {
+        let mut harness =
+            Harness::new(job.board(), job.cfg, self.policy)?.with_scan_threads(self.scan_threads);
+        if let Some(dir) = &self.checkpoint_dir {
+            harness = harness.with_checkpoint_path(dir.join(job.checkpoint_name()))?;
+        }
+        let outcome = harness.run()?;
+        let record = harness.record().clone();
+        Ok(CampaignEntry {
+            job: *job,
+            outcome,
+            record: record.clone(),
+            report: GuardbandReport::from_record(&record),
+            sim_ms: harness.clock_ms(),
+        })
+    }
+
+    fn ensure_checkpoint_dir(&self) -> Result<(), HarnessError> {
+        if let Some(dir) = &self.checkpoint_dir {
+            std::fs::create_dir_all(dir).map_err(|e| {
+                HarnessError::Config(format!(
+                    "cannot create checkpoint dir {}: {e}",
+                    dir.display()
+                ))
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Run every job on this thread, in job order: the baseline the
+    /// parallel path is required to reproduce byte-for-byte.
+    pub fn run_sequential(&self) -> Result<Vec<CampaignEntry>, HarnessError> {
+        self.ensure_checkpoint_dir()?;
+        self.jobs.iter().map(|job| self.run_job(job)).collect()
+    }
+
+    /// Run the jobs on `board_threads` workers stealing from a shared
+    /// queue. Results are merged in job order; each entry is bit-identical
+    /// to what [`Campaign::run_sequential`] produces for that job.
+    pub fn run(&self, board_threads: usize) -> Result<Vec<CampaignEntry>, HarnessError> {
+        let workers = board_threads.min(self.jobs.len()).max(1);
+        if workers == 1 {
+            return self.run_sequential();
+        }
+        self.ensure_checkpoint_dir()?;
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<CampaignEntry, HarnessError>>>> =
+            self.jobs.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    // Work stealing: each idle worker grabs the next
+                    // unclaimed job, so a slow VC707 sweep never blocks the
+                    // three cheaper boards behind it.
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = self.jobs.get(idx) else {
+                        return;
+                    };
+                    let result = self.run_job(job);
+                    *slots[idx].lock().expect("campaign slot poisoned") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("campaign slot poisoned")
+                    .expect("worker pool exited with an unfilled slot")
+            })
+            .collect()
+    }
+
+    #[must_use]
+    pub fn checkpoint_dir(&self) -> Option<&Path> {
+        self.checkpoint_dir.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uvf_fpga::{Millivolts, Rail};
+
+    fn short_campaign() -> Campaign {
+        let mut campaign = Campaign::new(RecoveryPolicy::default());
+        for kind in PlatformKind::ALL {
+            let mut cfg = SweepConfig::quick(Rail::Vccbram, 2);
+            cfg.start = Millivolts(kind.descriptor().vccbram.vmin.0 + 20);
+            campaign.push(CampaignJob::new(kind, cfg));
+        }
+        campaign
+    }
+
+    #[test]
+    fn campaign_discovers_all_landmarks() {
+        let entries = short_campaign().run(4).unwrap();
+        assert_eq!(entries.len(), 4);
+        for entry in &entries {
+            let platform = entry.job.kind.descriptor();
+            assert_eq!(entry.report.vmin, Some(platform.vccbram.vmin));
+            assert_eq!(entry.report.vcrash, Some(platform.vccbram.vcrash));
+        }
+    }
+
+    #[test]
+    fn parallel_campaign_matches_sequential_bytes() {
+        let campaign = short_campaign();
+        let sequential = campaign.run_sequential().unwrap();
+        for threads in [2, 4, 16] {
+            let parallel = campaign.run(threads).unwrap();
+            for (s, p) in sequential.iter().zip(&parallel) {
+                assert_eq!(
+                    s.record.to_json_string(),
+                    p.record.to_json_string(),
+                    "{:?} with {threads} board threads",
+                    s.job.kind
+                );
+                assert_eq!(s.sim_ms, p.sim_ms);
+            }
+        }
+    }
+
+    #[test]
+    fn checkpointed_campaign_resumes_to_identical_bytes() {
+        let dir = std::env::temp_dir().join(format!("uvf-campaign-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let campaign = short_campaign().with_checkpoint_dir(&dir);
+        let first = campaign.run(4).unwrap();
+        // Rerun: every job resumes from its finished checkpoint.
+        let second = campaign.run(4).unwrap();
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.record.to_json_string(), b.record.to_json_string());
+        }
+        let baseline = short_campaign().run_sequential().unwrap();
+        for (a, b) in first.iter().zip(&baseline) {
+            assert_eq!(a.record.to_json_string(), b.record.to_json_string());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn job_checkpoint_names_are_unique_and_stable() {
+        let campaign = short_campaign();
+        let mut names: Vec<String> = campaign
+            .jobs()
+            .iter()
+            .map(CampaignJob::checkpoint_name)
+            .collect();
+        assert_eq!(names[0], campaign.jobs()[0].checkpoint_name());
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 4);
+    }
+}

@@ -160,6 +160,9 @@ pub struct Harness {
     clock: SimClock,
     armed: bool,
     runs_since_checkpoint: u32,
+    /// Workers for the per-BRAM probe scan (1 = sequential). Pure
+    /// performance knob: records are bit-identical for every value.
+    scan_threads: usize,
 }
 
 impl Harness {
@@ -187,7 +190,27 @@ impl Harness {
             clock: SimClock::new(),
             armed: false,
             runs_since_checkpoint: 0,
+            scan_threads: 1,
         })
+    }
+
+    /// Fan the per-BRAM probe scan over `threads` workers (`<= 1` stays
+    /// sequential). The record is bit-identical either way; this only
+    /// changes wall-clock time.
+    #[must_use]
+    pub fn with_scan_threads(mut self, threads: usize) -> Harness {
+        self.set_scan_threads(threads);
+        self
+    }
+
+    /// See [`Harness::with_scan_threads`].
+    pub fn set_scan_threads(&mut self, threads: usize) {
+        self.scan_threads = threads.max(1);
+    }
+
+    #[must_use]
+    pub fn scan_threads(&self) -> usize {
+        self.scan_threads
     }
 
     /// Attach a checkpoint file. If it already exists it must belong to
@@ -390,8 +413,14 @@ impl Harness {
             // fresh noise but replays see the same.
             self.board
                 .apply_supply_noise(self.cfg.rail, run, self.attempt);
-            self.probe
-                .sample(&self.board, &self.model, &self.cfg, v, run)
+            self.probe.sample_with_threads(
+                &self.board,
+                &self.model,
+                &self.cfg,
+                v,
+                run,
+                self.scan_threads,
+            )
         });
         match result {
             Ok(faults) => Ok(Some(faults)),

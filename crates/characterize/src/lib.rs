@@ -6,8 +6,12 @@
 //! * [`json`] — dependency-free JSON with byte-stable serialization,
 //! * [`record`] — sweep records, crash telemetry and atomic checkpoints,
 //! * [`sweep`] — Listing-1 configuration and the BRAM/logic probes,
+//! * [`parallel`] — deterministic scoped-thread fan-out of the per-BRAM
+//!   probe scan (bit-identical to the sequential baseline),
 //! * [`harness`] — watchdog + retry/backoff + power-cycle recovery +
 //!   checkpointed resume (the crash-resilience core),
+//! * [`campaign`] — multi-board runner: one harness per die on a
+//!   work-stealing queue with a shared checkpoint directory,
 //! * [`guardband`] — `Vmin`/`Vcrash` discovery reports over the harness.
 //!
 //! The central invariant: a sweep interrupted anywhere — board hang, run
@@ -16,15 +20,19 @@
 //! stochastic draw is keyed by position (level, run, attempt), never by
 //! wall-clock or call count.
 
+pub mod campaign;
 pub mod guardband;
 pub mod harness;
 pub mod json;
+pub mod parallel;
 pub mod record;
 pub mod sweep;
 
+pub use campaign::{Campaign, CampaignEntry, CampaignJob};
 pub use guardband::{discover, discover_all, GuardbandReport};
 pub use harness::{Harness, HarnessError, HarnessStatus, RecoveryPolicy, SimClock, MS_PER_RUN};
 pub use json::{Json, JsonError};
+pub use parallel::available_threads;
 pub use record::{
     Checkpoint, CrashEvent, LevelRecord, RecordError, RunRecord, SweepOutcome, SweepRecord,
     RECORD_VERSION,

@@ -1,0 +1,114 @@
+//! Deterministic scoped-thread fan-out for per-BRAM probe scans.
+//!
+//! The per-BRAM fault scan is embarrassingly parallel: each BRAM's count is
+//! a pure function of `(chip_seed, bram, resolved condition)`, so workers
+//! share nothing but the read-only model. The hard invariant — pinned by
+//! `tests/parallel_identity.rs` — is that the parallel result is
+//! **bit-identical** to the sequential baseline: every per-BRAM count lands
+//! in a slot indexed by `BramId` and the reduction walks those slots in
+//! `BramId` order, so thread scheduling can never reorder the merge.
+//!
+//! std-only: `std::thread::scope` with a static partition of the `BramId`
+//! space (BRAM scan costs are near-uniform, so work-stealing buys nothing
+//! here; the multi-board campaign in [`crate::campaign`] is where dynamic
+//! scheduling pays off).
+
+use uvf_faults::{FaultModel, ResolvedCondition};
+use uvf_fpga::{BramId, DataPattern};
+
+/// Threads worth using on this host (≥ 1). The sweep engine treats `0` and
+/// `1` as "stay sequential".
+#[must_use]
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Observable flips of one BRAM against `pattern` under `resolved`.
+#[must_use]
+pub fn bram_fault_count(
+    model: &FaultModel,
+    pattern: DataPattern,
+    resolved: &ResolvedCondition,
+    bram: BramId,
+) -> u64 {
+    let mut count = 0u64;
+    model.for_each_failing_resolved(bram, resolved, |cell| {
+        let stored = pattern.word(bram, u32::from(cell.row));
+        let stored_bit = stored & (1u16 << cell.bit) != 0;
+        if cell.observable(stored_bit) {
+            count += 1;
+        }
+    });
+    count
+}
+
+/// Observable flips across the whole BRAM pool, fanned over `threads`
+/// workers. `threads <= 1` runs the sequential baseline; any other value
+/// produces the same counts merged in the same (`BramId`) order.
+#[must_use]
+pub fn platform_fault_count(
+    model: &FaultModel,
+    pattern: DataPattern,
+    resolved: &ResolvedCondition,
+    threads: usize,
+) -> u64 {
+    let n_brams = model.platform().bram_count;
+    let workers = threads.min(n_brams).max(1);
+    if workers == 1 {
+        return (0..n_brams as u32)
+            .map(|b| bram_fault_count(model, pattern, resolved, BramId(b)))
+            .sum();
+    }
+    let mut counts = vec![0u64; n_brams];
+    let chunk = n_brams.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (i, slots) in counts.chunks_mut(chunk).enumerate() {
+            let first = (i * chunk) as u32;
+            scope.spawn(move || {
+                for (offset, slot) in slots.iter_mut().enumerate() {
+                    *slot =
+                        bram_fault_count(model, pattern, resolved, BramId(first + offset as u32));
+                }
+            });
+        }
+    });
+    // Per-BRAM counts are merged in BramId order: bit-identity with the
+    // sequential path by construction, not by luck.
+    counts.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uvf_faults::{run_seed, ReadCondition};
+    use uvf_fpga::{PlatformKind, Rail};
+
+    #[test]
+    fn parallel_count_equals_sequential_for_any_thread_count() {
+        let platform = PlatformKind::Zc702.descriptor();
+        let model = FaultModel::new(platform);
+        let vcrash = platform.vccbram.vcrash;
+        let cond = ReadCondition {
+            v: vcrash,
+            temperature_c: 25.0,
+            run_seed: run_seed(model.chip_seed(), Rail::Vccbram, vcrash, 0),
+        };
+        let resolved = model.resolve(&cond);
+        let sequential = platform_fault_count(&model, DataPattern::AllOnes, &resolved, 1);
+        assert!(sequential > 0, "no faults at Vcrash");
+        for threads in [2, 3, 4, 7, 64, 1000] {
+            assert_eq!(
+                platform_fault_count(&model, DataPattern::AllOnes, &resolved, threads),
+                sequential,
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn available_threads_is_positive() {
+        assert!(available_threads() >= 1);
+    }
+}

@@ -7,6 +7,7 @@
 //! self-test. Either way the probe goes *through the board*, so a hung
 //! board surfaces as `BoardError::Crashed` for the harness watchdog.
 
+use crate::parallel;
 use crate::record::SweepRecord;
 use uvf_faults::{run_seed, FaultModel, ReadCondition};
 use uvf_fpga::{Board, BoardError, BramId, DataPattern, Millivolts, Rail, DEFAULT_TEMPERATURE_C};
@@ -155,6 +156,21 @@ impl Probe {
         v: Millivolts,
         run: u32,
     ) -> Result<u64, BoardError> {
+        self.sample_with_threads(board, model, cfg, v, run, 1)
+    }
+
+    /// [`Probe::sample`] with the per-BRAM scan fanned over `threads`
+    /// workers (`<= 1`: sequential). Bit-identical to the sequential path
+    /// for every thread count — see [`crate::parallel`].
+    pub fn sample_with_threads(
+        self,
+        board: &Board,
+        model: &FaultModel,
+        cfg: &SweepConfig,
+        v: Millivolts,
+        run: u32,
+        threads: usize,
+    ) -> Result<u64, BoardError> {
         match self {
             Probe::Bram => {
                 // Liveness check through the real read path: a hung board
@@ -165,18 +181,15 @@ impl Probe {
                     temperature_c: cfg.temperature_c,
                     run_seed: run_seed(board.chip_seed(), cfg.rail, v, run),
                 };
-                let mut count = 0u64;
-                for b in 0..board.platform().bram_count as u32 {
-                    let bram = BramId(b);
-                    model.for_each_failing(bram, &cond, |cell| {
-                        let stored = cfg.pattern.word(bram, u32::from(cell.row));
-                        let stored_bit = stored & (1u16 << cell.bit) != 0;
-                        if cell.observable(stored_bit) {
-                            count += 1;
-                        }
-                    });
-                }
-                Ok(count)
+                // Resolve once per condition: the thermal shift and jitter
+                // window are hoisted out of the per-BRAM, per-cell path.
+                let resolved = model.resolve(&cond);
+                Ok(parallel::platform_fault_count(
+                    model,
+                    cfg.pattern,
+                    &resolved,
+                    threads,
+                ))
             }
             Probe::Logic => board.logic_selftest().map(u64::from),
         }

@@ -1,0 +1,297 @@
+//! Resolved read conditions and bulk fault masks.
+//!
+//! The per-word fault question ("which bits of this read flip?") factors
+//! into a condition-dependent part — the ITD/noise threshold shift and the
+//! jitter window — and a per-cell part. [`ResolvedCondition`] hoists the
+//! former out of the per-word path: it is computed once per
+//! `(voltage, temperature, run)` and reused for every cell decision.
+//!
+//! [`FaultMask`] goes one step further for bulk corruption: it resolves a
+//! condition once into dense per-row AND/OR bitmasks for one BRAM, so
+//! corrupting a whole read-back stream (the `uvf-accel` weight path, the
+//! pattern experiments) is two bitwise ops per word with no per-cell work
+//! at all. Both forms are bit-identical to [`FaultModel::corrupt_word`] —
+//! the equivalence tests below and in `uvf-bench` pin that.
+//!
+//! [`FaultModel::corrupt_word`]: crate::model::FaultModel::corrupt_word
+
+use crate::model::{FaultModel, ReadCondition, JITTER_WINDOW_SIGMAS, TAG_JITTER};
+use crate::rng::standard_normal;
+use crate::weakcells::WeakCell;
+use uvf_fpga::seedmix::mix;
+use uvf_fpga::{BramId, BRAM_ROWS, BRAM_WORD_BITS};
+
+/// A [`ReadCondition`] with everything condition-dependent precomputed:
+/// the signed threshold shift (ITD + environment noise) and the jitter
+/// window boundaries. Build one with [`FaultModel::resolve`] and reuse it
+/// across every cell/word/BRAM query at the same condition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResolvedCondition {
+    cond: ReadCondition,
+    /// Signed shift applied to every threshold (ITD + noise), in mV.
+    shift_mv: f64,
+    /// Run jitter σ, in mV.
+    sigma_mv: f64,
+    /// Cells with `vfail_mv` below this can never fail under this
+    /// condition (deterministically outside the jitter window). Descending
+    /// threshold scans stop here.
+    cutoff_mv: f64,
+    /// Cells with `vfail_mv` at or above this always fail (deterministic,
+    /// no jitter draw needed).
+    certain_mv: f64,
+}
+
+impl ResolvedCondition {
+    pub(crate) fn new(cond: ReadCondition, shift_mv: f64, sigma_mv: f64) -> ResolvedCondition {
+        let v = f64::from(cond.v.0);
+        ResolvedCondition {
+            cond,
+            shift_mv,
+            sigma_mv,
+            cutoff_mv: v - shift_mv - JITTER_WINDOW_SIGMAS * sigma_mv,
+            certain_mv: v - shift_mv + JITTER_WINDOW_SIGMAS * sigma_mv,
+        }
+    }
+
+    #[must_use]
+    pub fn condition(&self) -> &ReadCondition {
+        &self.cond
+    }
+
+    #[must_use]
+    pub fn shift_mv(&self) -> f64 {
+        self.shift_mv
+    }
+
+    /// Early-exit boundary for descending-threshold scans: no cell with
+    /// `vfail_mv` below this fails under this condition.
+    #[must_use]
+    pub fn cutoff_mv(&self) -> f64 {
+        self.cutoff_mv
+    }
+
+    /// Whether `cell` of `bram` flips under this condition. Pure function
+    /// of the resolved condition and the cell's identity — scan order
+    /// never matters.
+    #[must_use]
+    pub fn cell_fails(&self, bram: BramId, cell: &WeakCell) -> bool {
+        if cell.vfail_mv >= self.certain_mv {
+            return true;
+        }
+        if cell.vfail_mv < self.cutoff_mv {
+            return false;
+        }
+        let delta = cell.vfail_mv + self.shift_mv - f64::from(self.cond.v.0);
+        let idx = u64::from(cell.row) * BRAM_WORD_BITS as u64 + u64::from(cell.bit);
+        let jitter = self.sigma_mv
+            * standard_normal(mix(&[
+                self.cond.run_seed,
+                TAG_JITTER,
+                u64::from(bram.0),
+                idx,
+            ]));
+        jitter >= -delta
+    }
+}
+
+/// Per-row flip bitmasks of one BRAM under one resolved condition.
+///
+/// `corrupted = (stored & and_mask[row]) | or_mask[row]`: failing `1→0`
+/// cells clear their bit in the AND mask (a flip only lands on a stored
+/// one — observability for free), failing `0→1` cells set their bit in the
+/// OR mask (idempotent on a stored one). Rows with no failing cell carry
+/// identity masks, so bulk application needs no sparsity bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultMask {
+    bram: BramId,
+    and_masks: Vec<u16>,
+    or_masks: Vec<u16>,
+    flip_cells: u32,
+}
+
+impl FaultMask {
+    /// Snapshot the failing cells of `bram` under `resolved`.
+    #[must_use]
+    pub fn build(model: &FaultModel, bram: BramId, resolved: &ResolvedCondition) -> FaultMask {
+        let mut and_masks = vec![0xFFFFu16; BRAM_ROWS];
+        let mut or_masks = vec![0x0000u16; BRAM_ROWS];
+        let mut flip_cells = 0u32;
+        // Descending-threshold order so the scan stops at the cutoff; the
+        // masks themselves are order-independent.
+        for cell in model.weak_cells(bram) {
+            if cell.vfail_mv < resolved.cutoff_mv() {
+                break;
+            }
+            if !resolved.cell_fails(bram, cell) {
+                continue;
+            }
+            let bit = 1u16 << cell.bit;
+            let row = cell.row as usize;
+            if cell.one_to_zero {
+                and_masks[row] &= !bit;
+            } else {
+                or_masks[row] |= bit;
+            }
+            flip_cells += 1;
+        }
+        FaultMask {
+            bram,
+            and_masks,
+            or_masks,
+            flip_cells,
+        }
+    }
+
+    #[must_use]
+    pub fn bram(&self) -> BramId {
+        self.bram
+    }
+
+    /// Number of cells flipping under this condition (either polarity,
+    /// before observability against any particular stored data).
+    #[must_use]
+    pub fn flip_cells(&self) -> u32 {
+        self.flip_cells
+    }
+
+    /// `true` when no cell flips: every read-back is exact.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.flip_cells == 0
+    }
+
+    #[must_use]
+    pub fn and_mask(&self, row: u16) -> u16 {
+        self.and_masks[row as usize]
+    }
+
+    #[must_use]
+    pub fn or_mask(&self, row: u16) -> u16 {
+        self.or_masks[row as usize]
+    }
+
+    /// Corrupted read-back of `stored` at `row`.
+    #[inline]
+    #[must_use]
+    pub fn apply(&self, row: u16, stored: u16) -> u16 {
+        let r = row as usize;
+        (stored & self.and_masks[r]) | self.or_masks[r]
+    }
+
+    /// Corrupt a whole stored image in place; `words[i]` is row `i`.
+    pub fn apply_all(&self, words: &mut [u16]) {
+        for (row, w) in words.iter_mut().enumerate() {
+            *w = (*w & self.and_masks[row]) | self.or_masks[row];
+        }
+    }
+
+    /// Observable flips against a stored image (the probe's statistic).
+    #[must_use]
+    pub fn count_observable(&self, words: &[u16]) -> u64 {
+        let mut n = 0u64;
+        for (row, &w) in words.iter().enumerate() {
+            let corrupted = (w & self.and_masks[row]) | self.or_masks[row];
+            n += u64::from((w ^ corrupted).count_ones());
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::run_seed;
+    use uvf_fpga::{Millivolts, PlatformKind, Rail};
+
+    fn model() -> FaultModel {
+        FaultModel::new(PlatformKind::Zc702.descriptor())
+    }
+
+    fn cond_at(m: &FaultModel, v: Millivolts, run: u32) -> ReadCondition {
+        ReadCondition {
+            v,
+            temperature_c: 25.0,
+            run_seed: run_seed(m.chip_seed(), Rail::Vccbram, v, run),
+        }
+    }
+
+    #[test]
+    fn resolved_decisions_match_the_model() {
+        let m = model();
+        let vcrash = m.platform().vccbram.vcrash;
+        let cond = cond_at(&m, vcrash, 3);
+        let rc = m.resolve(&cond);
+        for b in (0..m.platform().bram_count as u32).step_by(37) {
+            let bram = BramId(b);
+            let mut from_scan = Vec::new();
+            m.for_each_failing(bram, &cond, |c| from_scan.push(*c));
+            let from_resolved: Vec<WeakCell> = m
+                .weak_cells(bram)
+                .iter()
+                .filter(|c| rc.cell_fails(bram, c))
+                .copied()
+                .collect();
+            assert_eq!(from_scan, from_resolved, "BRAM {b}");
+        }
+    }
+
+    #[test]
+    fn mask_reproduces_corrupt_word_for_all_patterns() {
+        let m = model();
+        let vcrash = m.platform().vccbram.vcrash;
+        let cond = cond_at(&m, vcrash, 0);
+        let rc = m.resolve(&cond);
+        for b in (0..m.platform().bram_count as u32).step_by(19) {
+            let bram = BramId(b);
+            let mask = FaultMask::build(&m, bram, &rc);
+            for row in (0..BRAM_ROWS as u16).step_by(61) {
+                for stored in [0xFFFFu16, 0x0000, 0xAAAA, 0x5555, 0x1234] {
+                    assert_eq!(
+                        mask.apply(row, stored),
+                        m.corrupt_word(bram, row, stored, &cond),
+                        "BRAM {b} row {row} stored {stored:#06x}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mask_is_clean_above_vmin() {
+        let m = model();
+        let above = Millivolts(m.platform().vccbram.vmin.0 + 10);
+        let cond = cond_at(&m, above, 0);
+        let rc = m.resolve(&cond);
+        for b in 0..m.platform().bram_count as u32 {
+            let mask = FaultMask::build(&m, BramId(b), &rc);
+            assert!(mask.is_clean(), "flips above Vmin in BRAM {b}");
+        }
+    }
+
+    #[test]
+    fn bulk_application_matches_per_word() {
+        let m = model();
+        let vcrash = m.platform().vccbram.vcrash;
+        let cond = cond_at(&m, vcrash, 1);
+        let rc = m.resolve(&cond);
+        let (bram, _, _) = m.sentinel();
+        let mask = FaultMask::build(&m, bram, &rc);
+        let mut words: Vec<u16> = (0..BRAM_ROWS as u32)
+            .map(|r| r.wrapping_mul(2654435761) as u16)
+            .collect();
+        let expect: Vec<u16> = words
+            .iter()
+            .enumerate()
+            .map(|(row, &w)| mask.apply(row as u16, w))
+            .collect();
+        let stored = words.clone();
+        mask.apply_all(&mut words);
+        assert_eq!(words, expect);
+        let flips: u64 = stored
+            .iter()
+            .zip(&words)
+            .map(|(a, b)| u64::from((a ^ b).count_ones()))
+            .sum();
+        assert_eq!(mask.count_observable(&stored), flips);
+    }
+}

@@ -6,8 +6,8 @@
 //! run_seed)` — the determinism invariant the paper's observation ❶ rests
 //! on and that the property tests pin across crash/recovery cycles.
 
+use crate::mask::{FaultMask, ResolvedCondition};
 use crate::params::FaultParams;
-use crate::rng::standard_normal;
 use crate::thermal::itd_shift_mv;
 use crate::variation::die_multipliers;
 use crate::weakcells::{generate_bram, WeakCell, SENTINEL_SIGMA_OFFSET};
@@ -15,12 +15,12 @@ use uvf_fpga::seedmix::mix;
 use uvf_fpga::{BramId, Floorplan, Millivolts, Platform, Rail, BRAM_ROWS, BRAM_WORD_BITS};
 
 const TAG_RUN: u64 = 0x005e_ed21;
-const TAG_JITTER: u64 = 0x005e_ed22;
+pub(crate) const TAG_JITTER: u64 = 0x005e_ed22;
 const TAG_SENTINEL: u64 = 0x005e_ed23;
 
 /// Jitter beyond ±4σ is treated as impossible; the decision becomes
 /// deterministic outside that window (error mass < 1e-4 per cell).
-const JITTER_WINDOW_SIGMAS: f64 = 4.0;
+pub(crate) const JITTER_WINDOW_SIGMAS: f64 = 4.0;
 
 /// One read-back condition.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -47,6 +47,55 @@ pub fn run_seed(chip_seed: u64, rail: Rail, v: Millivolts, run: u32) -> u64 {
     ])
 }
 
+/// Weak cells of one BRAM in the two orders the hot paths need.
+///
+/// `by_threshold` (descending `vfail_mv`) serves the sweep scans, which
+/// stop at the condition's cutoff; `by_row` + `row_offsets` serve the
+/// read-back path, where [`FaultModel::corrupt_word`] must touch only the
+/// cells of *one* row — O(cells-in-row) instead of O(cells-in-BRAM).
+/// The weak tail is tiny (a few hundred cells per BRAM at worst), so the
+/// duplicated storage costs megabytes while the index turns the word path
+/// from a full scan into a couple of cache lines.
+#[derive(Debug, Clone)]
+struct BramCells {
+    /// Sorted by descending `vfail_mv` (the `generate_bram` order).
+    by_threshold: Vec<WeakCell>,
+    /// The same cells sorted by `(row, bit)`.
+    by_row: Vec<WeakCell>,
+    /// `by_row[row_offsets[r] .. row_offsets[r+1]]` are the cells of row
+    /// `r`; length `BRAM_ROWS + 1`.
+    row_offsets: Vec<u32>,
+}
+
+impl BramCells {
+    fn new(by_threshold: Vec<WeakCell>) -> BramCells {
+        let mut by_row = by_threshold.clone();
+        by_row.sort_by(|a, b| a.row.cmp(&b.row).then(a.bit.cmp(&b.bit)));
+        let mut row_offsets = Vec::with_capacity(BRAM_ROWS + 1);
+        let mut cursor = 0usize;
+        row_offsets.push(0);
+        for row in 0..BRAM_ROWS as u16 {
+            while cursor < by_row.len() && by_row[cursor].row == row {
+                cursor += 1;
+            }
+            row_offsets.push(cursor as u32);
+        }
+        BramCells {
+            by_threshold,
+            by_row,
+            row_offsets,
+        }
+    }
+
+    fn row(&self, row: u16) -> &[WeakCell] {
+        let r = row as usize;
+        if r >= BRAM_ROWS {
+            return &[];
+        }
+        &self.by_row[self.row_offsets[r] as usize..self.row_offsets[r + 1] as usize]
+    }
+}
+
 /// Calibrated, deterministic fault model of one die.
 #[derive(Debug, Clone)]
 pub struct FaultModel {
@@ -56,7 +105,9 @@ pub struct FaultModel {
     /// Supply-noise knob of DESIGN §6b: raises effective thresholds, i.e.
     /// exposes faults *above* the bench-measured `Vmin`.
     env_noise_mv: f64,
-    weak: Vec<Vec<WeakCell>>,
+    weak: Vec<BramCells>,
+    /// Cached at construction: the weak population never changes.
+    total_weak: usize,
     sentinel: (BramId, u16, u8),
 }
 
@@ -82,15 +133,18 @@ impl FaultModel {
         let sentinel_row = ((sent_h >> 24) % BRAM_ROWS as u64) as u16;
         let sentinel_bit = ((sent_h >> 48) % BRAM_WORD_BITS as u64) as u8;
 
-        let weak = multipliers
+        let weak: Vec<BramCells> = multipliers
             .iter()
             .enumerate()
             .map(|(i, &multiplier)| {
                 let id = BramId(i as u32);
                 let sentinel = (id == sentinel_bram).then_some((sentinel_row, sentinel_bit));
-                generate_bram(chip_seed, id, multiplier, landmarks, &params, sentinel)
+                BramCells::new(generate_bram(
+                    chip_seed, id, multiplier, landmarks, &params, sentinel,
+                ))
             })
             .collect();
+        let total_weak = weak.iter().map(|b| b.by_threshold.len()).sum();
 
         FaultModel {
             platform,
@@ -98,6 +152,7 @@ impl FaultModel {
             params,
             env_noise_mv: 0.0,
             weak,
+            total_weak,
             sentinel: (sentinel_bram, sentinel_row, sentinel_bit),
         }
     }
@@ -139,13 +194,22 @@ impl FaultModel {
     pub fn weak_cells(&self, bram: BramId) -> &[WeakCell] {
         self.weak
             .get(bram.0 as usize)
-            .map(Vec::as_slice)
+            .map(|b| b.by_threshold.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Weak cells of one row of `bram`, sorted by bit.
+    #[must_use]
+    pub fn row_cells(&self, bram: BramId, row: u16) -> &[WeakCell] {
+        self.weak
+            .get(bram.0 as usize)
+            .map(|b| b.row(row))
             .unwrap_or(&[])
     }
 
     #[must_use]
     pub fn total_weak_cells(&self) -> usize {
-        self.weak.iter().map(Vec::len).sum()
+        self.total_weak
     }
 
     /// Signed shift applied to every threshold under `cond` (ITD + noise).
@@ -153,48 +217,108 @@ impl FaultModel {
         itd_shift_mv(&self.params, cond.temperature_c) + self.env_noise_mv
     }
 
-    fn cell_fails(&self, bram: BramId, cell: &WeakCell, shift: f64, cond: &ReadCondition) -> bool {
-        let sigma = self.params.run_jitter_sigma_mv;
-        let delta = cell.vfail_mv + shift - f64::from(cond.v.0);
-        if delta >= JITTER_WINDOW_SIGMAS * sigma {
-            return true;
-        }
-        if delta <= -JITTER_WINDOW_SIGMAS * sigma {
-            return false;
-        }
-        let idx = u64::from(cell.row) * BRAM_WORD_BITS as u64 + u64::from(cell.bit);
-        let jitter =
-            sigma * standard_normal(mix(&[cond.run_seed, TAG_JITTER, u64::from(bram.0), idx]));
-        jitter >= -delta
+    /// Hoist the condition-dependent work (thermal shift, jitter window)
+    /// out of the per-cell path: resolve once, query many.
+    #[must_use]
+    pub fn resolve(&self, cond: &ReadCondition) -> ResolvedCondition {
+        ResolvedCondition::new(
+            *cond,
+            self.threshold_shift_mv(cond),
+            self.params.run_jitter_sigma_mv,
+        )
+    }
+
+    /// Per-row flip bitmasks of `bram` under `resolved`, for bulk
+    /// corruption of whole read-back streams.
+    #[must_use]
+    pub fn fault_mask(&self, bram: BramId, resolved: &ResolvedCondition) -> FaultMask {
+        FaultMask::build(self, bram, resolved)
+    }
+
+    /// Fault masks of every BRAM on the die, in `BramId` order.
+    #[must_use]
+    pub fn fault_masks(&self, cond: &ReadCondition) -> Vec<FaultMask> {
+        let resolved = self.resolve(cond);
+        (0..self.platform.bram_count as u32)
+            .map(|b| FaultMask::build(self, BramId(b), &resolved))
+            .collect()
     }
 
     /// Visit every cell of `bram` that flips under `cond`, in descending
     /// threshold order. Observability against stored data is the caller's
     /// concern ([`WeakCell::observable`]) — the silicon doesn't know what
     /// the design wrote.
-    pub fn for_each_failing(
+    pub fn for_each_failing(&self, bram: BramId, cond: &ReadCondition, f: impl FnMut(&WeakCell)) {
+        self.for_each_failing_resolved(bram, &self.resolve(cond), f);
+    }
+
+    /// [`FaultModel::for_each_failing`] with the condition already
+    /// resolved — the form the sweep loops use so the shift and jitter
+    /// window are computed once per condition, not once per BRAM.
+    pub fn for_each_failing_resolved(
         &self,
         bram: BramId,
-        cond: &ReadCondition,
+        resolved: &ResolvedCondition,
         mut f: impl FnMut(&WeakCell),
     ) {
-        let shift = self.threshold_shift_mv(cond);
-        let sigma = self.params.run_jitter_sigma_mv;
-        let cutoff = f64::from(cond.v.0) - shift - JITTER_WINDOW_SIGMAS * sigma;
+        let cutoff = resolved.cutoff_mv();
         for cell in self.weak_cells(bram) {
             if cell.vfail_mv < cutoff {
                 break; // sorted descending: nothing further can fail
             }
-            if self.cell_fails(bram, cell, shift, cond) {
+            if resolved.cell_fails(bram, cell) {
                 f(cell);
             }
         }
     }
 
     /// Corrupted read-back of one stored word under `cond`.
+    ///
+    /// Resolves the condition per call; when reading many words at the
+    /// same condition use [`FaultModel::corrupt_word_resolved`] (or a
+    /// [`FaultMask`] for whole-BRAM streams).
     #[must_use]
     pub fn corrupt_word(&self, bram: BramId, row: u16, stored: u16, cond: &ReadCondition) -> u16 {
-        let shift = self.threshold_shift_mv(cond);
+        self.corrupt_word_resolved(bram, row, stored, &self.resolve(cond))
+    }
+
+    /// Corrupted read-back via the row index: O(cells-in-row) per word.
+    #[must_use]
+    pub fn corrupt_word_resolved(
+        &self,
+        bram: BramId,
+        row: u16,
+        stored: u16,
+        resolved: &ResolvedCondition,
+    ) -> u16 {
+        let mut word = stored;
+        for cell in self.row_cells(bram, row) {
+            let mask = 1u16 << cell.bit;
+            let stored_bit = stored & mask != 0;
+            if cell.observable(stored_bit) && resolved.cell_fails(bram, cell) {
+                if cell.one_to_zero {
+                    word &= !mask;
+                } else {
+                    word |= mask;
+                }
+            }
+        }
+        word
+    }
+
+    /// The seed-era `corrupt_word`: a linear scan over *every* weak cell
+    /// of the BRAM, re-resolving the condition per call. Kept only as the
+    /// baseline `uvf-bench` measures the indexed path against and as the
+    /// equivalence oracle in tests — never used on a hot path.
+    #[must_use]
+    pub fn corrupt_word_linear(
+        &self,
+        bram: BramId,
+        row: u16,
+        stored: u16,
+        cond: &ReadCondition,
+    ) -> u16 {
+        let resolved = self.resolve(cond);
         let mut word = stored;
         for cell in self.weak_cells(bram) {
             if cell.row != row {
@@ -202,7 +326,7 @@ impl FaultModel {
             }
             let mask = 1u16 << cell.bit;
             let stored_bit = stored & mask != 0;
-            if cell.observable(stored_bit) && self.cell_fails(bram, cell, shift, cond) {
+            if cell.observable(stored_bit) && resolved.cell_fails(bram, cell) {
                 if cell.one_to_zero {
                     word &= !mask;
                 } else {
@@ -323,6 +447,65 @@ mod tests {
         assert_eq!(count_at(&m, above, 0), 0);
         m.set_environment_noise_mv(15.0);
         assert!(count_at(&m, above, 0) >= 1, "droop exposes faults early");
+    }
+
+    #[test]
+    fn row_index_partitions_the_threshold_population() {
+        let m = model(PlatformKind::Zc702);
+        for b in (0..m.platform().bram_count as u32).step_by(13) {
+            let bram = BramId(b);
+            let by_threshold = m.weak_cells(bram);
+            let mut from_rows: Vec<WeakCell> = (0..BRAM_ROWS as u16)
+                .flat_map(|row| {
+                    let cells = m.row_cells(bram, row);
+                    assert!(cells.iter().all(|c| c.row == row), "row index mislabeled");
+                    cells.iter().copied()
+                })
+                .collect();
+            let mut reference = by_threshold.to_vec();
+            let key = |c: &WeakCell| (c.row, c.bit);
+            from_rows.sort_by_key(key);
+            reference.sort_by_key(key);
+            assert_eq!(from_rows, reference, "BRAM {b}");
+        }
+        assert_eq!(m.row_cells(BramId(0), BRAM_ROWS as u16), &[]);
+    }
+
+    #[test]
+    fn indexed_corrupt_word_matches_linear_baseline() {
+        let m = model(PlatformKind::Zc702);
+        let vcrash = m.platform().vccbram.vcrash;
+        for run in 0..3u32 {
+            let cond = ReadCondition {
+                v: vcrash,
+                temperature_c: 25.0,
+                run_seed: run_seed(m.chip_seed(), Rail::Vccbram, vcrash, run),
+            };
+            let resolved = m.resolve(&cond);
+            for b in (0..m.platform().bram_count as u32).step_by(7) {
+                let bram = BramId(b);
+                for row in (0..BRAM_ROWS as u16).step_by(97) {
+                    for stored in [0xFFFFu16, 0x0000, 0xA5A5] {
+                        let linear = m.corrupt_word_linear(bram, row, stored, &cond);
+                        assert_eq!(m.corrupt_word(bram, row, stored, &cond), linear);
+                        assert_eq!(
+                            m.corrupt_word_resolved(bram, row, stored, &resolved),
+                            linear
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn total_weak_cells_matches_per_bram_sum() {
+        let m = model(PlatformKind::Zc702);
+        let summed: usize = (0..m.platform().bram_count as u32)
+            .map(|b| m.weak_cells(BramId(b)).len())
+            .sum();
+        assert_eq!(m.total_weak_cells(), summed);
+        assert!(m.total_weak_cells() > 0);
     }
 
     #[test]
