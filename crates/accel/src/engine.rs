@@ -1,0 +1,249 @@
+//! Weight loading and fault-corrupted inference (§V-D of the paper).
+//!
+//! The accelerator writes the quantized network into BRAM once at nominal
+//! voltage, then runs inference with the rail undervolted: every weight
+//! read passes through the fault model, so `1→0` bit flips land on the
+//! stored sign-magnitude words exactly as Fig. 10 describes. Biases never
+//! touch BRAM (they live in flip-flops), so only weights corrupt.
+
+use crate::placement::Placement;
+use uvf_faults::{FaultModel, ResolvedCondition};
+use uvf_fpga::{Board, BoardError, BRAM_ROWS};
+use uvf_nn::{decode_word, Matrix, Mlp, QNetwork};
+
+/// Which layers see faults during read-back — the per-layer vulnerability
+/// study's knob (Fig. 13 isolates one layer at a time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayerFaults {
+    /// Every layer reads through the fault model (normal undervolting).
+    All,
+    /// Clean read-back everywhere (the nominal-voltage reference).
+    None,
+    /// Faults confined to one layer.
+    Only(usize),
+    /// Faults everywhere except one layer.
+    Except(usize),
+}
+
+impl LayerFaults {
+    #[must_use]
+    pub fn includes(self, layer: usize) -> bool {
+        match self {
+            LayerFaults::All => true,
+            LayerFaults::None => false,
+            LayerFaults::Only(l) => l == layer,
+            LayerFaults::Except(l) => l != layer,
+        }
+    }
+}
+
+/// A quantized network mapped onto the board's BRAMs.
+#[derive(Debug)]
+pub struct MappedNetwork<'a> {
+    qnet: &'a QNetwork,
+    placement: Placement,
+}
+
+impl<'a> MappedNetwork<'a> {
+    /// Write every layer's sign-magnitude words into its assigned BRAMs
+    /// (one weight per row; tail rows of a layer's last BRAM stay zero).
+    /// Do this at nominal voltage — writes to a crashed board fail.
+    ///
+    /// # Errors
+    /// Propagates any [`BoardError`] from the row writes.
+    ///
+    /// # Panics
+    /// If the placement layer count differs from the network's.
+    pub fn load(
+        board: &mut Board,
+        qnet: &'a QNetwork,
+        placement: Placement,
+    ) -> Result<MappedNetwork<'a>, BoardError> {
+        assert_eq!(placement.layers(), qnet.layers().len(), "layer count");
+        for (l, layer) in qnet.layers().iter().enumerate() {
+            let words = layer.weights.encoded_words();
+            for (i, chunk) in words.chunks(BRAM_ROWS).enumerate() {
+                let bram = placement.layer(l)[i];
+                for (row, &w) in chunk.iter().enumerate() {
+                    board.write_row(bram, row as u32, w)?;
+                }
+            }
+        }
+        Ok(MappedNetwork { qnet, placement })
+    }
+
+    #[must_use]
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    #[must_use]
+    pub fn network(&self) -> &QNetwork {
+        self.qnet
+    }
+
+    /// Read the whole network back out of BRAM and rebuild a float MLP.
+    ///
+    /// `condition` is the undervolted read condition (pass `None` for a
+    /// clean nominal read); `faults` selects which layers it corrupts.
+    /// The read is pure: the board and stored words are untouched.
+    ///
+    /// # Errors
+    /// Propagates [`BoardError`] from the bulk reads (e.g. crashed board).
+    pub fn read_back(
+        &self,
+        board: &Board,
+        model: &FaultModel,
+        condition: Option<&ResolvedCondition>,
+        faults: LayerFaults,
+    ) -> Result<Mlp, BoardError> {
+        let mut matrices = Vec::with_capacity(self.qnet.layers().len());
+        for (l, layer) in self.qnet.layers().iter().enumerate() {
+            let n = layer.weights.len();
+            let scale = layer.weights.scale();
+            let mut data = Vec::with_capacity(n);
+            for (i, &bram) in self.placement.layer(l).iter().enumerate() {
+                let mut words = *board.read_bram(bram)?;
+                if faults.includes(l) {
+                    if let Some(res) = condition {
+                        model.fault_mask(bram, res).apply_all(&mut words);
+                    }
+                }
+                let take = (n - i * BRAM_ROWS).min(BRAM_ROWS);
+                data.extend(
+                    words[..take]
+                        .iter()
+                        .map(|&w| f32::from(decode_word(w)) * scale),
+                );
+            }
+            matrices.push(Matrix::from_vec(
+                layer.weights.rows(),
+                layer.weights.cols(),
+                data,
+            ));
+        }
+        Ok(self.qnet.rebuild_with_weights(matrices))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uvf_faults::ReadCondition;
+    use uvf_fpga::{Millivolts, Platform, PlatformKind, Rail, DEFAULT_TEMPERATURE_C};
+    use uvf_nn::{Mlp, QNetwork};
+
+    fn small_setup() -> (Board, QNetwork, Vec<usize>) {
+        let board = Board::with_chip_seed(Platform::new(PlatformKind::Vc707), 1);
+        // Layer 0 fills four BRAMs completely (256·16 = 4096 rows), so the
+        // chip's weak cells land on rows that actually hold weights.
+        let net = Mlp::new(&[256, 16, 8], 7);
+        let weights: Vec<usize> = net.layers().iter().map(|l| l.w.data().len()).collect();
+        (board, QNetwork::from_mlp(&net), weights)
+    }
+
+    #[test]
+    fn clean_readback_is_exact() {
+        let (mut board, qnet, weights) = small_setup();
+        let mapped =
+            MappedNetwork::load(&mut board, &qnet, Placement::contiguous(&weights)).unwrap();
+        let read = mapped
+            .read_back(
+                &board,
+                &FaultModel::new(*board.platform()),
+                None,
+                LayerFaults::All,
+            )
+            .unwrap();
+        assert_eq!(read, qnet.to_mlp());
+    }
+
+    #[test]
+    fn undervolted_readback_flips_only_selected_layers() {
+        let (mut board, qnet, weights) = small_setup();
+        let model = FaultModel::with_chip_seed(*board.platform(), board.chip_seed());
+        let mapped =
+            MappedNetwork::load(&mut board, &qnet, Placement::contiguous(&weights)).unwrap();
+        // Deep undervolt so *some* weight is guaranteed to flip.
+        let cond = model.resolve(&ReadCondition {
+            v: Millivolts(board.platform().rail(Rail::Vccbram).vcrash.0),
+            temperature_c: DEFAULT_TEMPERATURE_C,
+            run_seed: 3,
+        });
+        let clean = mapped
+            .read_back(&board, &model, None, LayerFaults::All)
+            .unwrap();
+        let all = mapped
+            .read_back(&board, &model, Some(&cond), LayerFaults::All)
+            .unwrap();
+        assert_ne!(all, clean, "a vcrash-level read must corrupt something");
+        let none = mapped
+            .read_back(&board, &model, Some(&cond), LayerFaults::None)
+            .unwrap();
+        assert_eq!(none, clean, "LayerFaults::None masks everything");
+        // Only(l) and Except(l) partition the corruption.
+        let only0 = mapped
+            .read_back(&board, &model, Some(&cond), LayerFaults::Only(0))
+            .unwrap();
+        let except0 = mapped
+            .read_back(&board, &model, Some(&cond), LayerFaults::Except(0))
+            .unwrap();
+        assert_eq!(only0.layers()[1], clean.layers()[1]);
+        assert_eq!(except0.layers()[0], clean.layers()[0]);
+        assert_eq!(all.layers()[0], only0.layers()[0]);
+        assert_eq!(all.layers()[1], except0.layers()[1]);
+    }
+
+    #[test]
+    fn readback_is_deterministic() {
+        let (mut board, qnet, weights) = small_setup();
+        let model = FaultModel::with_chip_seed(*board.platform(), board.chip_seed());
+        let mapped =
+            MappedNetwork::load(&mut board, &qnet, Placement::contiguous(&weights)).unwrap();
+        let cond = model.resolve(&ReadCondition {
+            v: Millivolts(board.platform().rail(Rail::Vccbram).vcrash.0 + 5),
+            temperature_c: DEFAULT_TEMPERATURE_C,
+            run_seed: 9,
+        });
+        let a = mapped
+            .read_back(&board, &model, Some(&cond), LayerFaults::All)
+            .unwrap();
+        let b = mapped
+            .read_back(&board, &model, Some(&cond), LayerFaults::All)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+}
+
+#[cfg(test)]
+mod scratch {
+    use super::*;
+    use uvf_faults::ReadCondition;
+    use uvf_fpga::{BramId, Platform, PlatformKind, Rail, DEFAULT_TEMPERATURE_C};
+
+    #[test]
+    #[ignore]
+    fn probe_last_layer_weakness() {
+        let platform = Platform::new(PlatformKind::Vc707);
+        // The MNIST net's last layer sits on BRAMs 1456-1457 under the
+        // default contiguous placement.
+        for chip_seed in 1u64..=20 {
+            let model = FaultModel::with_chip_seed(platform, chip_seed);
+            let vcrash = platform.rail(Rail::Vccbram).vcrash;
+            let cond = model.resolve(&ReadCondition {
+                v: vcrash,
+                temperature_c: DEFAULT_TEMPERATURE_C,
+                run_seed: 0,
+            });
+            let weak: Vec<usize> = [1456u32, 1457]
+                .iter()
+                .map(|&b| model.weak_cells(BramId(b)).len())
+                .collect();
+            let flips: Vec<u32> = [1456u32, 1457]
+                .iter()
+                .map(|&b| model.fault_mask(BramId(b), &cond).flip_cells())
+                .collect();
+            println!("chip={chip_seed} weak={weak:?} flips_at_vcrash={flips:?}");
+        }
+    }
+}

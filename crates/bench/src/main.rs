@@ -19,10 +19,14 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use uvf_accel::{LayerFaults, MappedNetwork, Placement};
 use uvf_bench::{bench, BenchOptions, Measurement, Suite};
-use uvf_characterize::{available_threads, Campaign, Probe, RecoveryPolicy, SweepConfig};
+use uvf_characterize::prelude::{
+    available_threads, Campaign, CampaignJob, Probe, RecoveryPolicy, SweepConfig,
+};
 use uvf_faults::{run_seed, FaultModel, ReadCondition};
 use uvf_fpga::{Board, BramId, Millivolts, PlatformKind, Rail, BRAM_ROWS};
+use uvf_nn::{Mlp, QNetwork};
 
 struct Args {
     quick: bool,
@@ -207,9 +211,11 @@ fn bench_campaign(suite: &mut Suite, opts: &BenchOptions, threads: usize) {
     let runs_per_level = if opts.quick { 2 } else { 5 };
     let mut campaign = Campaign::new(RecoveryPolicy::default());
     for kind in PlatformKind::ALL {
-        let mut cfg = SweepConfig::quick(Rail::Vccbram, runs_per_level);
-        cfg.start = Millivolts(kind.descriptor().vccbram.vmin.0 + 30);
-        campaign.push(uvf_characterize::CampaignJob::new(kind, cfg));
+        let cfg = SweepConfig::builder(Rail::Vccbram)
+            .runs(runs_per_level)
+            .start(Millivolts(kind.descriptor().vccbram.vmin.0 + 30))
+            .build();
+        campaign.push(CampaignJob::new(kind, cfg));
     }
     println!("campaign: 4 boards, {runs_per_level} runs/level, vmin+30 ladder");
 
@@ -233,6 +239,61 @@ fn bench_campaign(suite: &mut Suite, opts: &BenchOptions, threads: usize) {
     let seq_ns = suite.measurements[n - 2].median_ns as f64;
     let par_ns = suite.measurements[n - 1].median_ns.max(1) as f64;
     suite.derive("campaign_speedup", seq_ns / par_ns);
+}
+
+/// NN inference through the BRAM fault path: map a quantized MLP onto the
+/// VC707, then measure the corrupted weight read-back and classification.
+fn bench_nn_inference(suite: &mut Suite, opts: &BenchOptions) {
+    // An untrained (He-seeded) net exercises the identical pipeline at a
+    // fraction of the setup cost; quick mode shrinks the hidden layer.
+    let layout: &[usize] = if opts.quick {
+        &[784, 128, 10]
+    } else {
+        &[784, 512, 10]
+    };
+    let net = Mlp::new(layout, 1);
+    let qnet = QNetwork::from_mlp(&net);
+    let weights: Vec<usize> = net.layers().iter().map(|l| l.w.data().len()).collect();
+    let model = FaultModel::new(PlatformKind::Vc707.descriptor());
+    let mut board = Board::new(PlatformKind::Vc707.descriptor());
+    let mapped = MappedNetwork::load(&mut board, &qnet, Placement::contiguous(&weights))
+        .expect("load network");
+    let resolved = model.resolve(&vcrash_condition(&model));
+    println!(
+        "nn inference: VC707, {layout:?} net ({} weights, {} BRAMs) at Vcrash",
+        qnet.weight_count(),
+        mapped.placement().total_brams()
+    );
+
+    let readback = bench(
+        "nn/corrupted_readback",
+        qnet.weight_count() as u64,
+        opts,
+        || {
+            mapped
+                .read_back(&board, &model, Some(&resolved), LayerFaults::All)
+                .expect("read back")
+                .weight_count()
+        },
+    );
+    print_measurement(suite.record(readback));
+
+    let corrupted = mapped
+        .read_back(&board, &model, Some(&resolved), LayerFaults::All)
+        .expect("read back");
+    let input = vec![0.5f32; layout[0]];
+    let classify = bench("nn/classify_per_sample", 1, opts, || {
+        corrupted.predict(&input)
+    });
+    print_measurement(suite.record(classify));
+
+    let n = suite.measurements.len();
+    let readback_ns = suite.measurements[n - 2].median_ns.max(1) as f64;
+    let classify_ns = suite.measurements[n - 1].median_ns.max(1) as f64;
+    // Images/s if weights were re-read under faults once per frame vs
+    // reusing the corrupted snapshot — the amortization ICBP relies on.
+    suite.derive("nn_fps_reread_weights", 1e9 / (readback_ns + classify_ns));
+    suite.derive("nn_fps_snapshot_weights", 1e9 / classify_ns);
 }
 
 fn main() -> ExitCode {
@@ -262,6 +323,8 @@ fn main() -> ExitCode {
     bench_platform_scan(&mut suite, &opts, threads);
     println!();
     bench_campaign(&mut suite, &opts, threads);
+    println!();
+    bench_nn_inference(&mut suite, &opts);
 
     println!("\nderived:");
     for d in &suite.derived {

@@ -15,10 +15,12 @@ use uvf_fpga::{Board, Millivolts, PlatformKind, Rail};
 
 fn main() {
     let platform = PlatformKind::Vc707.descriptor();
-    let mut cfg = SweepConfig::quick(Rail::Vccbram, 10);
     // Start a little above Vmin so the demo runs in seconds; use
     // `SweepConfig::listing1` for the full from-nominal campaign.
-    cfg.start = Millivolts(platform.vccbram.vmin.0 + 30);
+    let cfg = SweepConfig::builder(Rail::Vccbram)
+        .runs(10)
+        .start(Millivolts(platform.vccbram.vmin.0 + 30))
+        .build();
 
     let checkpoint = std::env::temp_dir().join("uvf-vc707-vccbram.json");
     let board = Board::new(platform);

@@ -61,9 +61,9 @@ impl CampaignJob {
     pub fn checkpoint_name(&self) -> String {
         format!(
             "{}_{}_{}_{:016x}.json",
-            self.kind.name(),
-            self.cfg.rail.name(),
-            self.cfg.pattern.name(),
+            self.kind,
+            self.cfg.rail,
+            self.cfg.pattern,
             self.seed(),
         )
     }
@@ -223,8 +223,10 @@ mod tests {
     fn short_campaign() -> Campaign {
         let mut campaign = Campaign::new(RecoveryPolicy::default());
         for kind in PlatformKind::ALL {
-            let mut cfg = SweepConfig::quick(Rail::Vccbram, 2);
-            cfg.start = Millivolts(kind.descriptor().vccbram.vmin.0 + 20);
+            let cfg = SweepConfig::builder(Rail::Vccbram)
+                .runs(2)
+                .start(Millivolts(kind.descriptor().vccbram.vmin.0 + 20))
+                .build();
             campaign.push(CampaignJob::new(kind, cfg));
         }
         campaign

@@ -110,8 +110,10 @@ mod tests {
     #[test]
     fn discovery_matches_design_landmarks_for_zc702() {
         let platform = PlatformKind::Zc702.descriptor();
-        let mut cfg = SweepConfig::quick(Rail::Vccbram, 2);
-        cfg.start = Millivolts(platform.vccbram.vmin.0 + 20);
+        let cfg = SweepConfig::builder(Rail::Vccbram)
+            .runs(2)
+            .start(Millivolts(platform.vccbram.vmin.0 + 20))
+            .build();
         let (report, record) =
             discover(PlatformKind::Zc702, cfg, RecoveryPolicy::default()).unwrap();
         assert_eq!(report.vmin, Some(platform.vccbram.vmin));
@@ -124,11 +126,13 @@ mod tests {
     #[test]
     fn report_renders_human_readable() {
         let platform = PlatformKind::Zc702.descriptor();
-        let mut cfg = SweepConfig::quick(Rail::Vccbram, 1);
-        cfg.start = Millivolts(platform.vccbram.vcrash.0 + 10);
+        let cfg = SweepConfig::builder(Rail::Vccbram)
+            .runs(1)
+            .start(Millivolts(platform.vccbram.vcrash.0 + 10))
+            .build();
         let (report, _) = discover(PlatformKind::Zc702, cfg, RecoveryPolicy::default()).unwrap();
         let line = report.to_string();
-        assert!(line.contains("ZC702"), "{line}");
-        assert!(line.contains("VCCBRAM"), "{line}");
+        assert!(line.contains("zc702"), "{line}");
+        assert!(line.contains("vccbram"), "{line}");
     }
 }

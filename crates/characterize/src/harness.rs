@@ -181,7 +181,7 @@ impl Harness {
         Ok(Harness {
             board,
             model,
-            probe: Probe::for_rail(cfg.rail),
+            probe: cfg.probe,
             cfg,
             policy,
             checkpoint_path: None,
@@ -465,11 +465,12 @@ mod tests {
 
     fn short_cfg() -> SweepConfig {
         let platform = PlatformKind::Zc702.descriptor();
-        let mut cfg = SweepConfig::quick(Rail::Vccbram, 2);
         // Start just above Vmin so the test sweeps the interesting region
         // quickly: a few safe levels, the critical region, then the crash.
-        cfg.start = Millivolts(platform.vccbram.vmin.0 + 20);
-        cfg
+        SweepConfig::builder(Rail::Vccbram)
+            .runs(2)
+            .start(Millivolts(platform.vccbram.vmin.0 + 20))
+            .build()
     }
 
     fn harness(cfg: SweepConfig) -> Harness {
@@ -529,8 +530,7 @@ mod tests {
     #[test]
     fn config_validation_is_enforced() {
         let board = Board::new(PlatformKind::Zc702.descriptor());
-        let mut cfg = short_cfg();
-        cfg.step_mv = 0;
+        let cfg = SweepConfig::builder(Rail::Vccbram).step_mv(0).build();
         assert!(matches!(
             Harness::new(board, cfg, RecoveryPolicy::default()),
             Err(HarnessError::Config(_))

@@ -34,7 +34,28 @@ pub use harness::{Harness, HarnessError, HarnessStatus, RecoveryPolicy, SimClock
 pub use json::{Json, JsonError};
 pub use parallel::available_threads;
 pub use record::{
-    Checkpoint, CrashEvent, LevelRecord, RecordError, RunRecord, SweepOutcome, SweepRecord,
-    RECORD_VERSION,
+    Checkpoint, CrashEvent, FvmRecord, LevelRecord, RecordError, RunRecord, SweepOutcome,
+    SweepRecord, RECORD_VERSION,
 };
-pub use sweep::{Probe, SweepConfig};
+pub use sweep::{Probe, SweepConfig, SweepConfigBuilder};
+
+/// The one-stop import for downstream crates (`uvf-accel`, `uvf-bench`,
+/// examples): everything needed to configure, run and persist a
+/// characterization campaign, without deep-importing `sweep::`/`harness::`
+/// module paths.
+///
+/// ```
+/// use uvf_characterize::prelude::*;
+///
+/// let cfg = SweepConfig::builder(uvf_fpga::Rail::Vccbram).runs(2).build();
+/// assert!(cfg.validate().is_ok());
+/// ```
+pub mod prelude {
+    pub use crate::campaign::{Campaign, CampaignEntry, CampaignJob};
+    pub use crate::guardband::{discover, discover_all, GuardbandReport};
+    pub use crate::harness::{Harness, HarnessError, HarnessStatus, RecoveryPolicy};
+    pub use crate::json::Json;
+    pub use crate::parallel::available_threads;
+    pub use crate::record::{Checkpoint, FvmRecord, LevelRecord, SweepOutcome, SweepRecord};
+    pub use crate::sweep::{Probe, SweepConfig, SweepConfigBuilder};
+}

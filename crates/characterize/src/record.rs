@@ -11,6 +11,7 @@ use std::error::Error;
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
+use uvf_faults::{FaultModel, FaultVariationMap};
 use uvf_fpga::seedmix::mix;
 use uvf_fpga::{DataPattern, Millivolts, PlatformKind, Rail};
 
@@ -121,9 +122,9 @@ impl SweepRecord {
     pub fn fingerprint(&self) -> u64 {
         mix(&[
             RECORD_VERSION,
-            str_key(self.platform.name()),
-            str_key(self.rail.name()),
-            str_key(self.pattern.name()),
+            str_key(&self.platform.to_string()),
+            str_key(&self.rail.to_string()),
+            str_key(&self.pattern.to_string()),
             self.chip_seed,
             u64::from(self.start_mv),
             u64::from(self.floor_mv),
@@ -162,9 +163,9 @@ impl SweepRecord {
     #[must_use]
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
-            ("platform", Json::Str(self.platform.name().to_string())),
-            ("rail", Json::Str(self.rail.name().to_string())),
-            ("pattern", Json::Str(self.pattern.name().to_string())),
+            ("platform", Json::Str(self.platform.to_string())),
+            ("rail", Json::Str(self.rail.to_string())),
+            ("pattern", Json::Str(self.pattern.to_string())),
             ("chip_seed", Json::UInt(self.chip_seed)),
             ("start_mv", Json::UInt(u64::from(self.start_mv))),
             ("floor_mv", Json::UInt(u64::from(self.floor_mv))),
@@ -238,11 +239,15 @@ impl SweepRecord {
     }
 
     pub fn from_json(v: &Json) -> Result<SweepRecord, RecordError> {
-        let platform = PlatformKind::from_name(req_str(v, "platform")?)
-            .ok_or_else(|| schema("unknown platform"))?;
-        let rail = Rail::from_name(req_str(v, "rail")?).ok_or_else(|| schema("unknown rail"))?;
-        let pattern = DataPattern::from_name(req_str(v, "pattern")?)
-            .ok_or_else(|| schema("unknown pattern"))?;
+        let platform: PlatformKind = req_str(v, "platform")?
+            .parse()
+            .map_err(|_| schema("unknown platform"))?;
+        let rail: Rail = req_str(v, "rail")?
+            .parse()
+            .map_err(|_| schema("unknown rail"))?;
+        let pattern: DataPattern = req_str(v, "pattern")?
+            .parse()
+            .map_err(|_| schema("unknown pattern"))?;
         let levels = v
             .get("levels")
             .and_then(Json::as_arr)
@@ -385,6 +390,115 @@ impl Checkpoint {
     }
 }
 
+/// Persisted Fault Variation Map: the per-BRAM weak-cell census of one die
+/// at one reference voltage (`uvf_faults::FaultVariationMap`), serialized
+/// with the same byte-stable JSON as sweep records so ICBP placements can
+/// be derived offline from a characterization artifact instead of a live
+/// model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FvmRecord {
+    pub platform: PlatformKind,
+    pub chip_seed: u64,
+    pub v_ref_mv: u32,
+    /// Weak-cell count per BRAM, indexed by `BramId`.
+    pub counts: Vec<u32>,
+}
+
+impl FvmRecord {
+    /// Capture the census of a live fault model at `v_ref`.
+    #[must_use]
+    pub fn capture(model: &FaultModel, v_ref: Millivolts) -> FvmRecord {
+        FvmRecord::from_map(&model.variation_map(v_ref))
+    }
+
+    #[must_use]
+    pub fn from_map(map: &FaultVariationMap) -> FvmRecord {
+        FvmRecord {
+            platform: map.platform(),
+            chip_seed: map.chip_seed(),
+            v_ref_mv: map.v_ref().0,
+            counts: map.counts().to_vec(),
+        }
+    }
+
+    /// Rehydrate the census for ranking/placement.
+    #[must_use]
+    pub fn to_map(&self) -> FaultVariationMap {
+        FaultVariationMap::from_counts(
+            self.platform,
+            self.chip_seed,
+            Millivolts(self.v_ref_mv),
+            self.counts.clone(),
+        )
+    }
+
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("version", Json::UInt(RECORD_VERSION)),
+            ("platform", Json::Str(self.platform.to_string())),
+            ("chip_seed", Json::UInt(self.chip_seed)),
+            ("v_ref_mv", Json::UInt(u64::from(self.v_ref_mv))),
+            (
+                "counts",
+                Json::Arr(
+                    self.counts
+                        .iter()
+                        .map(|&c| Json::UInt(u64::from(c)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string()
+    }
+
+    pub fn from_json(v: &Json) -> Result<FvmRecord, RecordError> {
+        let version = req_u64(v, "version")?;
+        if version != RECORD_VERSION {
+            return Err(schema(&format!("unsupported FVM record version {version}")));
+        }
+        let platform: PlatformKind = req_str(v, "platform")?
+            .parse()
+            .map_err(|_| schema("unknown platform"))?;
+        let counts = v
+            .get("counts")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| schema("counts missing"))?
+            .iter()
+            .map(|c| c.as_u32().ok_or_else(|| schema("counts entry not a u32")))
+            .collect::<Result<Vec<u32>, RecordError>>()?;
+        if counts.len() != platform.descriptor().bram_count {
+            return Err(schema("counts length does not match the platform"));
+        }
+        Ok(FvmRecord {
+            platform,
+            chip_seed: req_u64(v, "chip_seed")?,
+            v_ref_mv: req_u32(v, "v_ref_mv")?,
+            counts,
+        })
+    }
+
+    pub fn parse(text: &str) -> Result<FvmRecord, RecordError> {
+        FvmRecord::from_json(&Json::parse(text)?)
+    }
+
+    /// Atomic write, same discipline as [`Checkpoint::save`].
+    pub fn save(&self, path: &Path) -> Result<(), RecordError> {
+        let tmp = tmp_path(path);
+        fs::write(&tmp, self.to_json_string()).map_err(|e| io_err(&tmp, &e))?;
+        fs::rename(&tmp, path).map_err(|e| io_err(path, &e))
+    }
+
+    pub fn load(path: &Path) -> Result<FvmRecord, RecordError> {
+        let text = fs::read_to_string(path).map_err(|e| io_err(path, &e))?;
+        FvmRecord::parse(&text)
+    }
+}
+
 fn tmp_path(path: &Path) -> PathBuf {
     let mut os = path.as_os_str().to_owned();
     os.push(".tmp");
@@ -517,6 +631,48 @@ mod tests {
         let back = SweepRecord::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(back, rec);
         assert_eq!(back.to_json_string(), text, "byte-stable");
+    }
+
+    #[test]
+    fn fvm_record_roundtrips_byte_stable_and_rehydrates() {
+        let platform = PlatformKind::Zc702.descriptor();
+        let model = FaultModel::new(platform);
+        let rec = FvmRecord::capture(&model, platform.vccbram.vcrash);
+        assert_eq!(rec.counts.len(), platform.bram_count);
+
+        let text = rec.to_json_string();
+        let back = FvmRecord::parse(&text).unwrap();
+        assert_eq!(back, rec);
+        assert_eq!(back.to_json_string(), text, "byte-stable");
+
+        // The rehydrated map ranks identically to the live census.
+        let live = model.variation_map(platform.vccbram.vcrash);
+        assert_eq!(back.to_map(), live);
+        assert_eq!(back.to_map().ranked(), live.ranked());
+    }
+
+    #[test]
+    fn fvm_record_rejects_wrong_bram_count() {
+        let platform = PlatformKind::Zc702.descriptor();
+        let model = FaultModel::new(platform);
+        let mut rec = FvmRecord::capture(&model, platform.vccbram.vcrash);
+        rec.counts.pop();
+        let text = rec.to_json_string();
+        assert!(matches!(
+            FvmRecord::parse(&text),
+            Err(RecordError::Schema(_))
+        ));
+    }
+
+    #[test]
+    fn fvm_record_saves_and_loads_atomically() {
+        let platform = PlatformKind::Zc702.descriptor();
+        let model = FaultModel::new(platform);
+        let rec = FvmRecord::capture(&model, platform.vccbram.vcrash);
+        let path = std::env::temp_dir().join(format!("uvf-fvm-{}.json", std::process::id()));
+        rec.save(&path).unwrap();
+        assert_eq!(FvmRecord::load(&path).unwrap(), rec);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

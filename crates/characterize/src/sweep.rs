@@ -16,6 +16,11 @@ use uvf_fpga::{Board, BoardError, BramId, DataPattern, Millivolts, Rail, DEFAULT
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SweepConfig {
     pub rail: Rail,
+    /// How runs turn silicon state into fault counts. Defaults to the
+    /// rail's natural probe ([`Probe::for_rail`]); override through
+    /// [`SweepConfigBuilder::probe`]. Not part of the checkpoint
+    /// fingerprint — the rail default is what resume assumes.
+    pub probe: Probe,
     /// Pattern written before every read-back run (the paper's default and
     /// worst case is all-ones, `FFFF`).
     pub pattern: DataPattern,
@@ -39,6 +44,7 @@ impl SweepConfig {
     pub fn listing1(rail: Rail) -> SweepConfig {
         SweepConfig {
             rail,
+            probe: Probe::for_rail(rail),
             pattern: DataPattern::AllOnes,
             start: Millivolts::NOMINAL,
             floor: Millivolts(450),
@@ -53,9 +59,15 @@ impl SweepConfig {
     /// but walks the identical level ladder.
     #[must_use]
     pub fn quick(rail: Rail, runs_per_level: u32) -> SweepConfig {
-        SweepConfig {
-            runs_per_level,
-            ..SweepConfig::listing1(rail)
+        SweepConfig::builder(rail).runs(runs_per_level).build()
+    }
+
+    /// Fluent construction starting from the Listing-1 defaults for `rail`:
+    /// `SweepConfig::builder(rail).runs(5).start(v).build()`.
+    #[must_use]
+    pub fn builder(rail: Rail) -> SweepConfigBuilder {
+        SweepConfigBuilder {
+            cfg: SweepConfig::listing1(rail),
         }
     }
 
@@ -114,6 +126,72 @@ impl SweepConfig {
     }
 }
 
+/// Builder for [`SweepConfig`], seeded with the Listing-1 defaults of its
+/// rail. Every setter overrides one parameter; `build()` hands the config
+/// back without validating — [`SweepConfig::validate`] (called by
+/// `Harness::new`) still rejects impossible sweeps, so tests can construct
+/// deliberately broken configs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepConfigBuilder {
+    cfg: SweepConfig,
+}
+
+impl SweepConfigBuilder {
+    /// Override the rail's natural probe (e.g. force the logic self-test).
+    #[must_use]
+    pub fn probe(mut self, probe: Probe) -> SweepConfigBuilder {
+        self.cfg.probe = probe;
+        self
+    }
+
+    #[must_use]
+    pub fn pattern(mut self, pattern: DataPattern) -> SweepConfigBuilder {
+        self.cfg.pattern = pattern;
+        self
+    }
+
+    #[must_use]
+    pub fn start(mut self, start: Millivolts) -> SweepConfigBuilder {
+        self.cfg.start = start;
+        self
+    }
+
+    #[must_use]
+    pub fn floor(mut self, floor: Millivolts) -> SweepConfigBuilder {
+        self.cfg.floor = floor;
+        self
+    }
+
+    #[must_use]
+    pub fn step_mv(mut self, step_mv: u32) -> SweepConfigBuilder {
+        self.cfg.step_mv = step_mv;
+        self
+    }
+
+    #[must_use]
+    pub fn runs(mut self, runs_per_level: u32) -> SweepConfigBuilder {
+        self.cfg.runs_per_level = runs_per_level;
+        self
+    }
+
+    #[must_use]
+    pub fn temperature_c(mut self, temperature_c: f64) -> SweepConfigBuilder {
+        self.cfg.temperature_c = temperature_c;
+        self
+    }
+
+    #[must_use]
+    pub fn noise_band_mv(mut self, noise_band_mv: u32) -> SweepConfigBuilder {
+        self.cfg.noise_band_mv = noise_band_mv;
+        self
+    }
+
+    #[must_use]
+    pub fn build(self) -> SweepConfig {
+        self.cfg
+    }
+}
+
 /// How a run measures faults.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Probe {
@@ -145,7 +223,7 @@ impl Probe {
     /// One run's fault count at level `v`.
     ///
     /// The count is keyed by the attempt-independent
-    /// [`run_seed`](uvf_faults::run_seed), which is what makes a resumed
+    /// [`uvf_faults::run_seed`], which is what makes a resumed
     /// sweep bit-identical to an uninterrupted one: re-measuring run `r`
     /// after a recovery draws the same jitter as the first attempt did.
     pub fn sample(
@@ -212,10 +290,30 @@ mod tests {
     }
 
     #[test]
+    fn builder_starts_from_listing1_and_overrides() {
+        let cfg = SweepConfig::builder(Rail::Vccbram)
+            .runs(7)
+            .start(Millivolts(700))
+            .probe(Probe::Logic)
+            .build();
+        assert_eq!(cfg.runs_per_level, 7);
+        assert_eq!(cfg.start, Millivolts(700));
+        assert_eq!(cfg.probe, Probe::Logic);
+        // Everything else keeps the Listing-1 defaults.
+        assert_eq!(cfg.pattern, DataPattern::AllOnes);
+        assert_eq!(cfg.step_mv, 10);
+        assert_eq!(
+            SweepConfig::builder(Rail::Vccbram).build(),
+            SweepConfig::listing1(Rail::Vccbram)
+        );
+    }
+
+    #[test]
     fn level_ladder_is_descending_and_inclusive() {
-        let mut cfg = SweepConfig::listing1(Rail::Vccbram);
-        cfg.start = Millivolts(1000);
-        cfg.floor = Millivolts(970);
+        let cfg = SweepConfig::builder(Rail::Vccbram)
+            .start(Millivolts(1000))
+            .floor(Millivolts(970))
+            .build();
         let levels = cfg.levels();
         assert_eq!(
             levels,
@@ -230,16 +328,14 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        let mut cfg = SweepConfig::listing1(Rail::Vccbram);
-        cfg.step_mv = 0;
-        assert!(cfg.validate().is_err());
-        let mut cfg = SweepConfig::listing1(Rail::Vccbram);
-        cfg.runs_per_level = 0;
-        assert!(cfg.validate().is_err());
-        let mut cfg = SweepConfig::listing1(Rail::Vccbram);
-        cfg.floor = Millivolts(1100);
-        assert!(cfg.validate().is_err());
-        assert!(SweepConfig::listing1(Rail::Vccaux).validate().is_err());
+        let b = || SweepConfig::builder(Rail::Vccbram);
+        assert!(b().step_mv(0).build().validate().is_err());
+        assert!(b().runs(0).build().validate().is_err());
+        assert!(b().floor(Millivolts(1100)).build().validate().is_err());
+        assert!(SweepConfig::builder(Rail::Vccaux)
+            .build()
+            .validate()
+            .is_err());
     }
 
     #[test]

@@ -22,9 +22,10 @@ fn temp_path(tag: &str) -> PathBuf {
 /// region is walked, but still crosses safe, critical and crash levels.
 fn short_cfg(kind: PlatformKind, runs_per_level: u32) -> SweepConfig {
     let platform = kind.descriptor();
-    let mut cfg = SweepConfig::quick(Rail::Vccbram, runs_per_level);
-    cfg.start = Millivolts(platform.vccbram.vmin.0 + 20);
-    cfg
+    SweepConfig::builder(Rail::Vccbram)
+        .runs(runs_per_level)
+        .start(Millivolts(platform.vccbram.vmin.0 + 20))
+        .build()
 }
 
 /// Property (a): every voltage strictly below Vcrash hangs the board; every
@@ -334,8 +335,11 @@ fn fault_readbacks_identical_before_and_after_recovery() {
 fn noisy_environment_sweep_completes_within_one_step() {
     let kind = PlatformKind::Zc702;
     let platform = kind.descriptor();
-    let mut cfg = short_cfg(kind, 2);
-    cfg.noise_band_mv = 15;
+    let cfg = SweepConfig::builder(Rail::Vccbram)
+        .runs(2)
+        .start(Millivolts(platform.vccbram.vmin.0 + 20))
+        .noise_band_mv(15)
+        .build();
 
     let run_once = || {
         let mut h = Harness::new(Board::new(platform), cfg, RecoveryPolicy::default()).unwrap();

@@ -18,9 +18,10 @@ use uvf_fpga::{Board, Millivolts, PlatformKind, Rail};
 /// A short ladder ending in the crash, like the campaign tests use: cheap
 /// but still covers safe, critical and crash levels.
 fn short_cfg(kind: PlatformKind, runs_per_level: u32) -> SweepConfig {
-    let mut cfg = SweepConfig::quick(Rail::Vccbram, runs_per_level);
-    cfg.start = Millivolts(kind.descriptor().vccbram.vmin.0 + 20);
-    cfg
+    SweepConfig::builder(Rail::Vccbram)
+        .runs(runs_per_level)
+        .start(Millivolts(kind.descriptor().vccbram.vmin.0 + 20))
+        .build()
 }
 
 fn scratch_dir(tag: &str) -> std::path::PathBuf {

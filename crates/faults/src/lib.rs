@@ -13,6 +13,7 @@
 //! `(platform, chip_seed)` must yield bit-identical read-backs across
 //! model rebuilds, power cycles and checkpoint-resumed sweeps.
 
+pub mod fvm;
 pub mod mask;
 pub mod model;
 pub mod params;
@@ -21,6 +22,7 @@ pub mod thermal;
 pub mod variation;
 pub mod weakcells;
 
+pub use fvm::FaultVariationMap;
 pub use mask::{FaultMask, ResolvedCondition};
 pub use model::{run_seed, FaultModel, ReadCondition};
 pub use params::FaultParams;

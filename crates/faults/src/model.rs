@@ -381,7 +381,7 @@ mod tests {
         let target = m.params().p_crash_per_bit * m.platform().total_bits() as f64;
         let got = count_at(&m, vcrash, 0) as f64;
         let rel = (got - target).abs() / target;
-        assert!(rel < 0.15, "faults at Vcrash {got}, target {target}");
+        assert!(rel < 0.10, "faults at Vcrash {got}, target {target}");
     }
 
     #[test]

@@ -1,0 +1,85 @@
+//! Statistical calibration promised in ROADMAP: run-to-run stability
+//! (Table II) and per-BRAM non-uniformity (Fig. 5).
+//!
+//! The paper's observation ❶ is that fault counts barely move between
+//! runs of the same experiment — the variation comes from a small jitter
+//! around each cell's threshold, not from the fault population itself.
+//! Observation ❸ is that the faults concentrate in a minority of BRAMs
+//! while a sizable share never faults at all. Both are properties the
+//! ICBP mitigation in `uvf-accel` depends on, so they gate every test run.
+
+use uvf_faults::{run_seed, FaultModel, ReadCondition};
+use uvf_fpga::{BramId, PlatformKind, Rail};
+
+fn observable_faults(m: &FaultModel, run: u32) -> u64 {
+    let vcrash = m.platform().vccbram.vcrash;
+    let cond = ReadCondition {
+        v: vcrash,
+        temperature_c: 25.0,
+        run_seed: run_seed(m.chip_seed(), Rail::Vccbram, vcrash, run),
+    };
+    let resolved = m.resolve(&cond);
+    let mut n = 0u64;
+    for b in 0..m.platform().bram_count as u32 {
+        // FFFF pattern: every 1→0 flip is observable.
+        m.for_each_failing_resolved(BramId(b), &resolved, |c| {
+            if c.one_to_zero {
+                n += 1;
+            }
+        });
+    }
+    n
+}
+
+/// Table II: the run-to-run spread of the fault count at `Vcrash` is a
+/// small fraction of the mean — repeatable enough that the paper (and
+/// ICBP) can treat the fault map as a property of the die.
+#[test]
+fn sigma_over_100_runs_is_a_small_fraction_of_the_mean() {
+    for kind in [PlatformKind::Zc702, PlatformKind::Kc705B] {
+        let m = FaultModel::new(kind.descriptor());
+        let counts: Vec<f64> = (0..100)
+            .map(|run| observable_faults(&m, run) as f64)
+            .collect();
+        let mean = counts.iter().sum::<f64>() / counts.len() as f64;
+        let var = counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / counts.len() as f64;
+        let sigma = var.sqrt();
+        let rel = sigma / mean;
+        assert!(mean > 0.0, "{kind:?}: no faults at Vcrash");
+        assert!(
+            sigma > 0.0,
+            "{kind:?}: zero spread — run jitter is not being applied"
+        );
+        assert!(
+            rel < 0.05,
+            "{kind:?}: σ/mean {rel:.4} — run-to-run spread too large for Table II"
+        );
+    }
+}
+
+/// Fig. 5: a substantial share of BRAMs never faults even at `Vcrash`
+/// (the immune mass plus low-multiplier dies), while the faulty minority
+/// carries far more than the average rate.
+#[test]
+fn never_faulty_share_matches_fig5_shape() {
+    for kind in PlatformKind::ALL {
+        let m = FaultModel::new(kind.descriptor());
+        let map = m.variation_map(m.platform().vccbram.vcrash);
+        let share = map.never_faulty_share();
+        let immune = m.params().immune_fraction;
+        assert!(
+            share >= immune && share < 0.75,
+            "{kind:?}: never-faulty share {share:.3} (immune fraction {immune})"
+        );
+
+        // Max/avg concentration: the worst BRAM is far above the mean of
+        // the faulty ones (heavy-tailed vulnerability).
+        let max = map.counts().iter().copied().max().unwrap_or(0) as f64;
+        let mean = map.total() as f64 / map.bram_count() as f64;
+        assert!(
+            max > 3.0 * mean,
+            "{kind:?}: max/avg {:.2} — vulnerability tail too light",
+            max / mean
+        );
+    }
+}

@@ -10,7 +10,7 @@
 use crate::bram::{Bram, BramId, DataPattern};
 use crate::error::{BoardError, PmbusError};
 use crate::floorplan::Floorplan;
-use crate::platform::Platform;
+use crate::platform::{Platform, BRAM_ROWS};
 use crate::pmbus::{PmbusCommand, PmbusResponse};
 use crate::regulator::Regulator;
 use crate::seedmix;
@@ -281,6 +281,23 @@ impl Board {
             .ok_or(BoardError::AddressOutOfRange { bram: bram.0, row })
     }
 
+    /// Bulk read of one whole BRAM image — the NN weight-fetch path of
+    /// `uvf-accel`, equivalent to 1024 [`Board::read_row`] calls with one
+    /// liveness check. Same semantics: the *stored* words come back; the
+    /// fault model corrupts them at a higher layer.
+    pub fn read_bram(&self, bram: BramId) -> Result<&[u16; BRAM_ROWS], BoardError> {
+        if let Some(e) = self.crashed_error() {
+            return Err(e);
+        }
+        self.brams
+            .get(bram.0 as usize)
+            .map(Bram::words)
+            .ok_or(BoardError::AddressOutOfRange {
+                bram: bram.0,
+                row: 0,
+            })
+    }
+
     /// Deterministic logic self-test for `VCCINT` sweeps.
     ///
     /// Placeholder for the future `faults::logic` datapath model (ROADMAP):
@@ -341,6 +358,25 @@ mod tests {
         assert_eq!(read, Err(PmbusError::NoResponse));
         assert!(matches!(
             b.read_row(BramId(0), 0),
+            Err(BoardError::Crashed { .. })
+        ));
+    }
+
+    #[test]
+    fn bulk_read_matches_row_reads_and_respects_crash() {
+        let mut b = vc707();
+        b.write_pattern(DataPattern::Random50).unwrap();
+        let image = b.read_bram(BramId(5)).unwrap();
+        for row in [0u32, 1, 511, 1023] {
+            assert_eq!(image[row as usize], b.read_row(BramId(5), row).unwrap());
+        }
+        assert!(matches!(
+            b.read_bram(BramId(u32::MAX)),
+            Err(BoardError::AddressOutOfRange { .. })
+        ));
+        b.set_rail_mv(Rail::Vccbram, Millivolts(500)).ok();
+        assert!(matches!(
+            b.read_bram(BramId(0)),
             Err(BoardError::Crashed { .. })
         ));
     }

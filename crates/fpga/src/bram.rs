@@ -1,7 +1,9 @@
 //! BRAM blocks and the data patterns the paper writes into them.
 
+use crate::error::ParseNameError;
 use crate::platform::BRAM_ROWS;
 use std::fmt;
+use std::str::FromStr;
 
 /// Index of a BRAM block within a device (0-based, dense).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -40,9 +42,10 @@ impl DataPattern {
         DataPattern::Random50,
     ];
 
-    /// Stable short name used in records and checkpoints.
-    #[must_use]
-    pub fn name(self) -> &'static str {
+    /// Stable short names, index-aligned with [`DataPattern::ALL`].
+    const NAMES: [&'static str; 5] = ["ffff", "0000", "aaaa", "5555", "rand50"];
+
+    fn short_name(self) -> &'static str {
         match self {
             DataPattern::AllOnes => "ffff",
             DataPattern::AllZeros => "0000",
@@ -52,10 +55,24 @@ impl DataPattern {
         }
     }
 
-    /// Inverse of [`DataPattern::name`].
+    /// Stable short name used in records and checkpoints.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the `Display` impl (`pattern.to_string()`) instead"
+    )]
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        self.short_name()
+    }
+
+    /// Inverse of the stable short name.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the `FromStr` impl (`s.parse::<DataPattern>()`) instead"
+    )]
     #[must_use]
     pub fn from_name(name: &str) -> Option<DataPattern> {
-        DataPattern::ALL.into_iter().find(|p| p.name() == name)
+        name.parse().ok()
     }
 
     /// The word this pattern stores at `row` of `bram`.
@@ -73,15 +90,26 @@ impl DataPattern {
     }
 }
 
+/// Writes the stable short name (`ffff`, `rand50`, …) used in records and
+/// checkpoints — the exact form [`FromStr`] parses back.
 impl fmt::Display for DataPattern {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            DataPattern::AllOnes => write!(f, "0xFFFF"),
-            DataPattern::AllZeros => write!(f, "0x0000"),
-            DataPattern::AltAaaa => write!(f, "0xAAAA"),
-            DataPattern::Alt5555 => write!(f, "0x5555"),
-            DataPattern::Random50 => write!(f, "random-50%"),
-        }
+        f.write_str(self.short_name())
+    }
+}
+
+impl FromStr for DataPattern {
+    type Err = ParseNameError;
+
+    /// Parses the stable short name; tolerates a `0x` prefix and uppercase
+    /// hex (`"0xFFFF"` was the old `Display` output).
+    fn from_str(s: &str) -> Result<DataPattern, ParseNameError> {
+        let norm = s.to_ascii_lowercase();
+        let norm = norm.strip_prefix("0x").unwrap_or(&norm);
+        DataPattern::ALL
+            .into_iter()
+            .find(|p| p.short_name() == norm)
+            .ok_or_else(|| ParseNameError::new("data pattern", s, &DataPattern::NAMES))
     }
 }
 
@@ -108,6 +136,13 @@ impl Bram {
     #[must_use]
     pub fn word(&self, row: usize) -> Option<u16> {
         self.words.get(row).copied()
+    }
+
+    /// The whole stored image, row-indexed — the bulk read path the NN
+    /// weight fetch (`uvf-accel`) uses instead of 1024 `word()` calls.
+    #[must_use]
+    pub fn words(&self) -> &[u16; BRAM_ROWS] {
+        &self.words
     }
 
     pub fn set_word(&mut self, row: usize, value: u16) -> bool {
@@ -179,7 +214,28 @@ mod tests {
     #[test]
     fn pattern_names_roundtrip() {
         for p in DataPattern::ALL {
+            assert_eq!(p.to_string().parse::<DataPattern>(), Ok(p));
+        }
+        assert_eq!("0xFFFF".parse(), Ok(DataPattern::AllOnes));
+        assert!("cafe".parse::<DataPattern>().is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_pattern_wrappers_still_work() {
+        for p in DataPattern::ALL {
             assert_eq!(DataPattern::from_name(p.name()), Some(p));
+        }
+    }
+
+    #[test]
+    fn bulk_words_view_matches_per_row_reads() {
+        let mut bram = Bram::new();
+        bram.fill_pattern(BramId(3), DataPattern::Random50);
+        let words = bram.words();
+        assert_eq!(words.len(), BRAM_ROWS);
+        for (row, &w) in words.iter().enumerate() {
+            assert_eq!(Some(w), bram.word(row));
         }
     }
 }

@@ -115,6 +115,59 @@ impl From<PmbusError> for BoardError {
     }
 }
 
+/// Error of the `FromStr` impls on [`PlatformKind`], [`Rail`] and
+/// [`DataPattern`]: the input matched no stable short name.
+///
+/// [`PlatformKind`]: crate::PlatformKind
+/// [`Rail`]: crate::Rail
+/// [`DataPattern`]: crate::DataPattern
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseNameError {
+    what: &'static str,
+    input: String,
+    expected: &'static [&'static str],
+}
+
+impl ParseNameError {
+    pub(crate) fn new(
+        what: &'static str,
+        input: &str,
+        expected: &'static [&'static str],
+    ) -> ParseNameError {
+        ParseNameError {
+            what,
+            input: input.to_string(),
+            expected,
+        }
+    }
+
+    /// The rejected input, verbatim.
+    #[must_use]
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+
+    /// The accepted stable short names.
+    #[must_use]
+    pub fn expected(&self) -> &'static [&'static str] {
+        self.expected
+    }
+}
+
+impl fmt::Display for ParseNameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown {} name {:?} (expected one of: {})",
+            self.what,
+            self.input,
+            self.expected.join(", ")
+        )
+    }
+}
+
+impl Error for ParseNameError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,12 +179,20 @@ mod tests {
             at: Millivolts(530),
         };
         let s = e.to_string();
-        assert!(s.contains("VCCBRAM") && s.contains("0.53 V"), "{s}");
+        assert!(s.contains("vccbram") && s.contains("0.53 V"), "{s}");
     }
 
     #[test]
     fn source_chains_pmbus() {
         let e = BoardError::from(PmbusError::NoResponse);
         assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn parse_error_names_the_candidates() {
+        let e: ParseNameError = "vc709".parse::<crate::PlatformKind>().unwrap_err();
+        assert_eq!(e.input(), "vc709");
+        let s = e.to_string();
+        assert!(s.contains("platform") && s.contains("vc707"), "{s}");
     }
 }

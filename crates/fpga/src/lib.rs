@@ -23,7 +23,7 @@ pub mod voltage;
 
 pub use board::{Board, BoardState, DEFAULT_TEMPERATURE_C};
 pub use bram::{Bram, BramId, DataPattern};
-pub use error::{BoardError, PmbusError};
+pub use error::{BoardError, ParseNameError, PmbusError};
 pub use floorplan::{Floorplan, Site};
 pub use platform::{Platform, PlatformKind, BRAM_BITS, BRAM_ROWS, BRAM_WORD_BITS};
 pub use pmbus::{PmbusCommand, PmbusResponse};

@@ -4,8 +4,10 @@
 //! `VCCINT` landmarks are chosen so the four-platform mean guardband is the
 //! paper's 34 % (per-platform `VCCINT` values are not published).
 
+use crate::error::ParseNameError;
 use crate::voltage::{Millivolts, Rail, RailLandmarks};
 use std::fmt;
+use std::str::FromStr;
 
 /// Geometry of every BRAM in the study: 1024 rows of 16-bit words.
 pub const BRAM_ROWS: usize = 1024;
@@ -29,9 +31,10 @@ impl PlatformKind {
         PlatformKind::Kc705B,
     ];
 
-    /// Stable short name used in records, checkpoints and CLIs.
-    #[must_use]
-    pub fn name(self) -> &'static str {
+    /// Stable short names, index-aligned with [`PlatformKind::ALL`].
+    const NAMES: [&'static str; 4] = ["vc707", "zc702", "kc705a", "kc705b"];
+
+    fn short_name(self) -> &'static str {
         match self {
             PlatformKind::Vc707 => "vc707",
             PlatformKind::Zc702 => "zc702",
@@ -40,10 +43,24 @@ impl PlatformKind {
         }
     }
 
-    /// Inverse of [`PlatformKind::name`].
+    /// Stable short name used in records, checkpoints and CLIs.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the `Display` impl (`kind.to_string()`) instead"
+    )]
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        self.short_name()
+    }
+
+    /// Inverse of the stable short name.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the `FromStr` impl (`s.parse::<PlatformKind>()`) instead"
+    )]
     #[must_use]
     pub fn from_name(name: &str) -> Option<PlatformKind> {
-        PlatformKind::ALL.into_iter().find(|k| k.name() == name)
+        name.parse().ok()
     }
 
     #[must_use]
@@ -52,14 +69,29 @@ impl PlatformKind {
     }
 }
 
+/// Writes the stable short name (`vc707`, …) used in records, checkpoints
+/// and CLIs — the exact form [`FromStr`] parses back.
 impl fmt::Display for PlatformKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            PlatformKind::Vc707 => write!(f, "VC707"),
-            PlatformKind::Zc702 => write!(f, "ZC702"),
-            PlatformKind::Kc705A => write!(f, "KC705-A"),
-            PlatformKind::Kc705B => write!(f, "KC705-B"),
-        }
+        f.write_str(self.short_name())
+    }
+}
+
+impl FromStr for PlatformKind {
+    type Err = ParseNameError;
+
+    /// Parses the stable short name; tolerates the human spellings the old
+    /// `Display` impl produced (`"VC707"`, `"KC705-A"`).
+    fn from_str(s: &str) -> Result<PlatformKind, ParseNameError> {
+        let norm: String = s
+            .chars()
+            .filter(|c| *c != '-')
+            .map(|c| c.to_ascii_lowercase())
+            .collect();
+        PlatformKind::ALL
+            .into_iter()
+            .find(|k| k.short_name() == norm)
+            .ok_or_else(|| ParseNameError::new("platform", s, &PlatformKind::NAMES))
     }
 }
 
@@ -193,7 +225,24 @@ mod tests {
     #[test]
     fn names_roundtrip() {
         for kind in PlatformKind::ALL {
+            assert_eq!(kind.to_string().parse::<PlatformKind>(), Ok(kind));
+        }
+        assert!("vc709".parse::<PlatformKind>().is_err());
+    }
+
+    #[test]
+    fn from_str_tolerates_legacy_spellings() {
+        assert_eq!("VC707".parse(), Ok(PlatformKind::Vc707));
+        assert_eq!("KC705-A".parse(), Ok(PlatformKind::Kc705A));
+        assert_eq!("kc705-b".parse(), Ok(PlatformKind::Kc705B));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_still_work() {
+        for kind in PlatformKind::ALL {
             assert_eq!(PlatformKind::from_name(kind.name()), Some(kind));
+            assert_eq!(kind.name(), kind.to_string());
         }
         assert_eq!(PlatformKind::from_name("vc709"), None);
     }

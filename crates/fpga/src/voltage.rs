@@ -4,7 +4,9 @@
 //! supply (`VCCINT`) in 10 mV steps, so millivolt integers are the natural
 //! unit everywhere: they are exact, hashable and cheap to serialize.
 
+use crate::error::ParseNameError;
 use std::fmt;
+use std::str::FromStr;
 
 /// A supply voltage in millivolts. 1.00 V nominal is `Millivolts(1000)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -48,9 +50,13 @@ impl Rail {
     /// The rails a guardband sweep makes sense on.
     pub const SWEEPABLE: [Rail; 2] = [Rail::Vccbram, Rail::Vccint];
 
-    /// Stable lowercase name used in records and checkpoints.
-    #[must_use]
-    pub fn name(self) -> &'static str {
+    /// Every modeled rail.
+    pub const ALL: [Rail; 3] = [Rail::Vccbram, Rail::Vccint, Rail::Vccaux];
+
+    /// Stable short names, index-aligned with [`Rail::ALL`].
+    const NAMES: [&'static str; 3] = ["vccbram", "vccint", "vccaux"];
+
+    fn short_name(self) -> &'static str {
         match self {
             Rail::Vccbram => "vccbram",
             Rail::Vccint => "vccint",
@@ -58,22 +64,46 @@ impl Rail {
         }
     }
 
-    /// Inverse of [`Rail::name`].
+    /// Stable lowercase name used in records and checkpoints.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the `Display` impl (`rail.to_string()`) instead"
+    )]
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        self.short_name()
+    }
+
+    /// Inverse of the stable short name.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the `FromStr` impl (`s.parse::<Rail>()`) instead"
+    )]
     #[must_use]
     pub fn from_name(name: &str) -> Option<Rail> {
-        [Rail::Vccbram, Rail::Vccint, Rail::Vccaux]
-            .into_iter()
-            .find(|r| r.name() == name)
+        name.parse().ok()
     }
 }
 
+/// Writes the stable short name (`vccbram`, …) used in records and
+/// checkpoints — the exact form [`FromStr`] parses back.
 impl fmt::Display for Rail {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Rail::Vccbram => write!(f, "VCCBRAM"),
-            Rail::Vccint => write!(f, "VCCINT"),
-            Rail::Vccaux => write!(f, "VCCAUX"),
-        }
+        f.write_str(self.short_name())
+    }
+}
+
+impl FromStr for Rail {
+    type Err = ParseNameError;
+
+    /// Parses the stable short name, case-insensitively (`"VCCBRAM"` is the
+    /// datasheet spelling and the old `Display` output).
+    fn from_str(s: &str) -> Result<Rail, ParseNameError> {
+        let norm = s.to_ascii_lowercase();
+        Rail::ALL
+            .into_iter()
+            .find(|r| r.short_name() == norm)
+            .ok_or_else(|| ParseNameError::new("rail", s, &Rail::NAMES))
     }
 }
 
@@ -162,6 +192,15 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(Millivolts(540).to_string(), "0.54 V");
-        assert_eq!(Rail::Vccbram.to_string(), "VCCBRAM");
+        assert_eq!(Rail::Vccbram.to_string(), "vccbram");
+    }
+
+    #[test]
+    fn rail_names_roundtrip() {
+        for rail in Rail::ALL {
+            assert_eq!(rail.to_string().parse::<Rail>(), Ok(rail));
+        }
+        assert_eq!("VCCBRAM".parse(), Ok(Rail::Vccbram));
+        assert!("vccio".parse::<Rail>().is_err());
     }
 }
