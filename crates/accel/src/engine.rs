@@ -10,6 +10,7 @@ use crate::placement::Placement;
 use uvf_faults::{FaultModel, ResolvedCondition};
 use uvf_fpga::{Board, BoardError, BRAM_ROWS};
 use uvf_nn::{decode_word, Matrix, Mlp, QNetwork};
+use uvf_trace::Tracer;
 
 /// Which layers see faults during read-back — the per-layer vulnerability
 /// study's knob (Fig. 13 isolates one layer at a time).
@@ -59,7 +60,28 @@ impl<'a> MappedNetwork<'a> {
         qnet: &'a QNetwork,
         placement: Placement,
     ) -> Result<MappedNetwork<'a>, BoardError> {
+        MappedNetwork::load_traced(board, qnet, placement, &Tracer::disabled())
+    }
+
+    /// [`MappedNetwork::load`] wrapped in a `weights_load` span, with the
+    /// written word count reported as a counter. The stored image is
+    /// identical with any tracer.
+    ///
+    /// # Errors
+    /// Propagates any [`BoardError`] from the row writes.
+    ///
+    /// # Panics
+    /// If the placement layer count differs from the network's.
+    pub fn load_traced(
+        board: &mut Board,
+        qnet: &'a QNetwork,
+        placement: Placement,
+        tracer: &Tracer,
+    ) -> Result<MappedNetwork<'a>, BoardError> {
         assert_eq!(placement.layers(), qnet.layers().len(), "layer count");
+        let mut span =
+            tracer.span_with("weights_load", vec![("layers", placement.layers().into())]);
+        let mut written = 0u64;
         for (l, layer) in qnet.layers().iter().enumerate() {
             let words = layer.weights.encoded_words();
             for (i, chunk) in words.chunks(BRAM_ROWS).enumerate() {
@@ -68,7 +90,10 @@ impl<'a> MappedNetwork<'a> {
                     board.write_row(bram, row as u32, w)?;
                 }
             }
+            written += words.len() as u64;
         }
+        tracer.counter("weights_written", written);
+        span.field("words", written.into());
         Ok(MappedNetwork { qnet, placement })
     }
 
@@ -97,6 +122,27 @@ impl<'a> MappedNetwork<'a> {
         condition: Option<&ResolvedCondition>,
         faults: LayerFaults,
     ) -> Result<Mlp, BoardError> {
+        self.read_back_traced(board, model, condition, faults, &Tracer::disabled())
+    }
+
+    /// [`MappedNetwork::read_back`] wrapped in a `weights_read_back` span,
+    /// with per-BRAM mask applications reported as kernel timings. The
+    /// rebuilt MLP is identical with any tracer.
+    ///
+    /// # Errors
+    /// Propagates [`BoardError`] from the bulk reads (e.g. crashed board).
+    pub fn read_back_traced(
+        &self,
+        board: &Board,
+        model: &FaultModel,
+        condition: Option<&ResolvedCondition>,
+        faults: LayerFaults,
+        tracer: &Tracer,
+    ) -> Result<Mlp, BoardError> {
+        let _span = tracer.span_with(
+            "weights_read_back",
+            vec![("layers", self.qnet.layers().len().into())],
+        );
         let mut matrices = Vec::with_capacity(self.qnet.layers().len());
         for (l, layer) in self.qnet.layers().iter().enumerate() {
             let n = layer.weights.len();
@@ -106,7 +152,9 @@ impl<'a> MappedNetwork<'a> {
                 let mut words = *board.read_bram(bram)?;
                 if faults.includes(l) {
                     if let Some(res) = condition {
-                        model.fault_mask(bram, res).apply_all(&mut words);
+                        model
+                            .fault_mask(bram, res)
+                            .apply_all_traced(&mut words, tracer);
                     }
                 }
                 let take = (n - i * BRAM_ROWS).min(BRAM_ROWS);

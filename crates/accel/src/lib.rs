@@ -18,10 +18,12 @@
 //! bit-deterministic, so every figure-level claim here is asserted by an
 //! integration test rather than eyeballed.
 
+#![deny(deprecated)]
+
 pub mod engine;
 pub mod placement;
 pub mod vulnerability;
 
 pub use engine::{LayerFaults, MappedNetwork};
 pub use placement::{brams_for, LayerSpan, Placement};
-pub use vulnerability::{layer_vulnerability, VulnerabilityReport};
+pub use vulnerability::{layer_vulnerability, layer_vulnerability_traced, VulnerabilityReport};

@@ -1,0 +1,688 @@
+//! `repro` — the paper-reproduction harness the README promises: one
+//! subcommand per table/figure, each running the real experiment through
+//! the traced sweep/campaign/accel stack.
+//!
+//! Every subcommand emits an auditable artifact triple under `--out`:
+//!
+//! * `<name>.jsonl` — the byte-stable structured event log (replayable;
+//!   identical bytes on identical reruns),
+//! * `<name>.prom` — a Prometheus text-exposition snapshot of counters and
+//!   latency histograms,
+//! * `<name>_manifest.json` — the run manifest: config fingerprint,
+//!   platform, seed, event-log path, and wall-time breakdown.
+//!
+//! Progress (levels done / ETA, crashes, power cycles, campaign job
+//! lifecycle) streams to stdout as log lines rendered straight from the
+//! trace events — the renderer is just another [`Sink`].
+//!
+//! Usage: `repro [--quick] [--check] [--threads N] [--out DIR] <cmd>...`
+//! where `<cmd>` is `table1 | fig1 | fig3 | fig4 | table2 | fig13 | fig14
+//! | all`. `--check` validates the artifacts after each run (exposition
+//! parses, manifest round-trips, every JSONL line is well-formed JSON).
+
+#![deny(deprecated)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use uvf_accel::{layer_vulnerability_traced, LayerFaults, MappedNetwork, Placement};
+use uvf_characterize::prelude::{
+    available_threads, Campaign, CampaignEntry, CampaignJob, Probe, RecoveryPolicy, SweepConfig,
+};
+use uvf_faults::{FaultModel, ReadCondition, ResolvedCondition};
+use uvf_fpga::{Board, DataPattern, Millivolts, Platform, PlatformKind, Rail};
+use uvf_nn::{train, DatasetKind, Mlp, QNetwork, SyntheticData, TrainConfig, MNIST_LAYOUT};
+use uvf_trace::{
+    parse_exposition, Event, EventKind, Json, JsonlSink, Manifest, MemorySink, PrometheusSink,
+    Sink, Tracer, Value,
+};
+
+/// Net seed pinned by `crates/accel/tests/fig14_mnist.rs` (lands the
+/// trained MNIST-like net on the paper's 2.56 % nominal landmark).
+const NET_SEED: u64 = 12;
+/// Chip whose weak-cell census exhibits the Fig. 13/14 story (ibid.).
+const CHIP_SEED: u64 = 21;
+/// Fig. 13/14 evaluation: cold die (worst-case ITD), run seed 1.
+const EVAL_TEMPERATURE_C: f64 = 0.0;
+const EVAL_RUN_SEED: u64 = 1;
+
+const COMMANDS: [&str; 7] = ["table1", "fig1", "fig3", "fig4", "table2", "fig13", "fig14"];
+
+struct Args {
+    quick: bool,
+    check: bool,
+    threads: usize,
+    out: PathBuf,
+    commands: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        quick: false,
+        check: false,
+        threads: available_threads(),
+        out: PathBuf::from("repro-out"),
+        commands: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--check" => args.check = true,
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                args.threads = v.parse().map_err(|_| format!("bad thread count {v}"))?;
+            }
+            "--out" => args.out = PathBuf::from(it.next().ok_or("--out needs a path")?),
+            "--help" | "-h" => return Err(usage()),
+            "all" => args
+                .commands
+                .extend(COMMANDS.iter().map(|c| (*c).to_string())),
+            cmd if COMMANDS.contains(&cmd) => args.commands.push(cmd.to_string()),
+            other => return Err(format!("unknown argument {other}\n{}", usage())),
+        }
+    }
+    if args.commands.is_empty() {
+        return Err(usage());
+    }
+    args.commands.dedup();
+    Ok(args)
+}
+
+fn usage() -> String {
+    format!(
+        "usage: repro [--quick] [--check] [--threads N] [--out DIR] <cmd>...\n\
+         commands: {} | all",
+        COMMANDS.join(" | ")
+    )
+}
+
+/// FNV-1a over a config-describing string: the manifest's fingerprint for
+/// experiments that don't flow through a `SweepRecord`.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Renders selected trace events as live progress log lines — the
+/// "long-campaign UX": sweep levels with ETA, crash/recovery lifecycle,
+/// and campaign job progress, straight off the event stream. Also counts
+/// every event it sees (the manifest's `events` total).
+struct ProgressSink {
+    prefix: &'static str,
+    total: AtomicU64,
+}
+
+impl ProgressSink {
+    fn new(prefix: &'static str) -> ProgressSink {
+        ProgressSink {
+            prefix,
+            total: AtomicU64::new(0),
+        }
+    }
+
+    fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+}
+
+fn f_u64(e: &Event, key: &str) -> u64 {
+    e.field(key).and_then(Value::as_u64).unwrap_or(0)
+}
+
+fn f_str<'a>(e: &'a Event, key: &str) -> &'a str {
+    e.field(key).and_then(Value::as_str).unwrap_or("?")
+}
+
+impl Sink for ProgressSink {
+    fn record(&self, e: &Event) {
+        self.total.fetch_add(1, Ordering::Relaxed);
+        if !matches!(e.kind, EventKind::Instant) {
+            return;
+        }
+        let p = self.prefix;
+        match e.name.as_ref() {
+            "level_done" => println!(
+                "[{p}] {:>4} mV: {} faults ({}/{} levels, eta {} ms)",
+                f_u64(e, "v_mv"),
+                f_u64(e, "faults"),
+                f_u64(e, "levels_done"),
+                f_u64(e, "levels_total"),
+                f_u64(e, "eta_ms"),
+            ),
+            "crash" => println!(
+                "[{p}] crash @ {} mV run {} attempt {}",
+                f_u64(e, "v_mv"),
+                f_u64(e, "run"),
+                f_u64(e, "attempt"),
+            ),
+            "power_cycle" => println!("[{p}] power cycle @ {} mV", f_u64(e, "v_mv")),
+            "resume" => println!(
+                "[{p}] resumed @ {} mV run {}",
+                f_u64(e, "v_mv"),
+                f_u64(e, "run"),
+            ),
+            "crash_boundary" => println!(
+                "[{p}] crash boundary: hung at {} mV, Vcrash = {} mV",
+                f_u64(e, "v_mv"),
+                f_u64(e, "vcrash_mv"),
+            ),
+            "job_claimed" => println!(
+                "[{p}] job {} claimed: {}",
+                f_u64(e, "job"),
+                f_str(e, "platform"),
+            ),
+            "job_done" => println!(
+                "[{p}] job {} done: {} ({}/{} jobs, {} sim-ms)",
+                f_u64(e, "job"),
+                f_str(e, "platform"),
+                f_u64(e, "jobs_done"),
+                f_u64(e, "jobs_total"),
+                f_u64(e, "sim_ms"),
+            ),
+            "job_failed" => println!(
+                "[{p}] job {} FAILED: {} ({})",
+                f_u64(e, "job"),
+                f_str(e, "platform"),
+                f_str(e, "error"),
+            ),
+            _ => {}
+        }
+    }
+}
+
+/// What an experiment hands back for its manifest.
+struct CmdSummary {
+    platform: String,
+    seed: u64,
+    fingerprint: u64,
+}
+
+/// The trained NN fixture, built once per process and shared by the
+/// `fig13`/`fig14` subcommands.
+struct NetFixture {
+    data: SyntheticData,
+    qnet: QNetwork,
+    weights: Vec<usize>,
+}
+
+struct Ctx {
+    quick: bool,
+    check: bool,
+    threads: usize,
+    out: PathBuf,
+    fixture: Option<NetFixture>,
+}
+
+impl Ctx {
+    fn fixture(&mut self, tracer: &Tracer) -> &NetFixture {
+        if self.fixture.is_none() {
+            let layout: &[usize] = if self.quick {
+                &[784, 128, 10]
+            } else {
+                &MNIST_LAYOUT
+            };
+            let epochs = if self.quick { 8 } else { 20 };
+            let mut span = tracer.span_with(
+                "train_fixture",
+                vec![("epochs", epochs.into()), ("layers", layout.len().into())],
+            );
+            let data = DatasetKind::MnistLike.generate(NET_SEED);
+            let mut net = Mlp::new(layout, NET_SEED);
+            train(
+                &mut net,
+                &data.train,
+                &TrainConfig {
+                    epochs,
+                    learning_rate: 0.02,
+                    momentum: 0.5,
+                    lr_decay: 0.8,
+                    shuffle_seed: NET_SEED,
+                },
+            );
+            span.field("nominal_error", net.error_on(&data.test).into());
+            let weights: Vec<usize> = net.layers().iter().map(|l| l.w.data().len()).collect();
+            self.fixture = Some(NetFixture {
+                data,
+                qnet: QNetwork::from_mlp(&net),
+                weights,
+            });
+        }
+        self.fixture.as_ref().expect("just built")
+    }
+}
+
+fn eval_condition(model: &FaultModel) -> ResolvedCondition {
+    let vcrash = model.platform().vccbram.vcrash;
+    model.resolve(&ReadCondition {
+        v: vcrash,
+        temperature_c: EVAL_TEMPERATURE_C,
+        run_seed: EVAL_RUN_SEED,
+    })
+}
+
+/// Table I: the four platforms' static specifications.
+fn run_table1(_ctx: &mut Ctx, tracer: &Tracer) -> Result<CmdSummary, String> {
+    let _span = tracer.span("table1");
+    let mut text = String::new();
+    println!("Table I — platform specifications");
+    for kind in PlatformKind::ALL {
+        let p = kind.descriptor();
+        let line = format!(
+            "  {:<8} {:<18} {:>5} BRAMs {:>7.2} Mbit  VCCBRAM {}/{}/{} mV",
+            kind.to_string(),
+            p.device,
+            p.bram_count,
+            p.total_mbit(),
+            p.vccbram.nominal.0,
+            p.vccbram.vmin.0,
+            p.vccbram.vcrash.0,
+        );
+        println!("{line}");
+        text.push_str(&line);
+        tracer.instant(
+            "platform_spec",
+            vec![
+                ("brams", p.bram_count.into()),
+                ("nominal_mv", p.vccbram.nominal.0.into()),
+                ("vmin_mv", p.vccbram.vmin.0.into()),
+                ("vcrash_mv", p.vccbram.vcrash.0.into()),
+            ],
+        );
+    }
+    Ok(CmdSummary {
+        platform: "all".into(),
+        seed: 0,
+        fingerprint: fnv1a(text.as_bytes()),
+    })
+}
+
+/// Run a traced campaign over `kinds` and return its entries.
+fn run_campaign(
+    ctx: &Ctx,
+    tracer: &Tracer,
+    kinds: &[PlatformKind],
+    runs_per_level: u32,
+) -> Result<Vec<CampaignEntry>, String> {
+    let mut campaign = Campaign::new(RecoveryPolicy::default()).with_tracer(tracer.clone());
+    for &kind in kinds {
+        let mut builder = SweepConfig::builder(Rail::Vccbram).runs(runs_per_level);
+        if ctx.quick {
+            // Start just above the first-fault region; the ladder still
+            // walks through Vmin and the crash boundary.
+            builder = builder.start(Millivolts(kind.descriptor().vccbram.vmin.0 + 30));
+        }
+        campaign.push(CampaignJob::new(kind, builder.build()));
+    }
+    campaign
+        .run(ctx.threads.clamp(1, kinds.len()))
+        .map_err(|e| format!("campaign failed: {e:?}"))
+}
+
+/// Fig. 1: Vmin/Vcrash guardband discovery on all four platforms.
+fn run_fig1(ctx: &mut Ctx, tracer: &Tracer) -> Result<CmdSummary, String> {
+    let runs = if ctx.quick { 2 } else { 5 };
+    println!("Fig. 1 — voltage guardbands ({} runs/level)", runs);
+    let entries = run_campaign(ctx, tracer, &PlatformKind::ALL, runs)?;
+    let mut fingerprint = 0u64;
+    for e in &entries {
+        println!("  {}", e.report);
+        fingerprint ^= e.record.fingerprint();
+    }
+    Ok(CmdSummary {
+        platform: "all".into(),
+        seed: 0,
+        fingerprint,
+    })
+}
+
+/// Fig. 3: fault rate vs `VCCBRAM`, per platform.
+fn run_fig3(ctx: &mut Ctx, tracer: &Tracer) -> Result<CmdSummary, String> {
+    let kinds: &[PlatformKind] = if ctx.quick {
+        &[PlatformKind::Zc702]
+    } else {
+        &PlatformKind::ALL
+    };
+    let runs = if ctx.quick { 2 } else { 10 };
+    println!("Fig. 3 — fault rate vs VCCBRAM ({} runs/level)", runs);
+    let entries = run_campaign(ctx, tracer, kinds, runs)?;
+    let mut fingerprint = 0u64;
+    for e in &entries {
+        let mbit = e.job.kind.descriptor().total_mbit();
+        println!("  {}:", e.job.kind);
+        for lvl in &e.record.levels {
+            println!(
+                "    {:>4} mV  median {:>12.2} faults/Mbit{}",
+                lvl.v_mv,
+                lvl.median_faults_per_mbit(mbit),
+                if lvl.crashed { "  CRASHED" } else { "" },
+            );
+        }
+        fingerprint ^= e.record.fingerprint();
+    }
+    Ok(CmdSummary {
+        platform: "all".into(),
+        seed: 0,
+        fingerprint,
+    })
+}
+
+/// Fig. 4: data-pattern impact at `Vcrash`.
+fn run_fig4(ctx: &mut Ctx, tracer: &Tracer) -> Result<CmdSummary, String> {
+    let kind = if ctx.quick {
+        PlatformKind::Zc702
+    } else {
+        PlatformKind::Vc707
+    };
+    let p = kind.descriptor();
+    let model = FaultModel::new(p);
+    let mut board = Board::new(p);
+    let runs = if ctx.quick { 3 } else { 20 };
+    let vcrash = p.vccbram.vcrash;
+    println!(
+        "Fig. 4 — data-pattern impact ({kind} @ {} mV, {runs} runs)",
+        vcrash.0
+    );
+    let mut text = format!("{kind}:{runs}");
+    for pattern in DataPattern::ALL {
+        let cfg = SweepConfig::builder(Rail::Vccbram)
+            .pattern(pattern)
+            .runs(runs)
+            .build();
+        let mut span = tracer.span("pattern_sweep");
+        span.field("pattern", pattern.to_string().into());
+        Probe::Bram
+            .arm(&mut board, pattern)
+            .map_err(|e| format!("arm: {e:?}"))?;
+        let mut counts = Vec::with_capacity(runs as usize);
+        for run in 0..runs {
+            let faults = Probe::Bram
+                .sample_with_threads(&board, &model, &cfg, vcrash, run, ctx.threads)
+                .map_err(|e| format!("sample: {e:?}"))?;
+            tracer.counter("runs", 1);
+            counts.push(faults);
+        }
+        counts.sort_unstable();
+        let median = counts[counts.len() / 2];
+        let rate = median as f64 / p.total_mbit();
+        println!(
+            "  {:<10} median {:>12.2} faults/Mbit",
+            pattern.to_string(),
+            rate
+        );
+        text.push_str(&format!(";{pattern}={median}"));
+        tracer.instant("pattern_done", vec![("median_faults", median.into())]);
+    }
+    Ok(CmdSummary {
+        platform: kind.to_string(),
+        seed: p.default_chip_seed,
+        fingerprint: fnv1a(text.as_bytes()),
+    })
+}
+
+/// Table II: fault-count stability over repeated runs at `Vcrash`.
+fn run_table2(ctx: &mut Ctx, tracer: &Tracer) -> Result<CmdSummary, String> {
+    let kinds: &[PlatformKind] = if ctx.quick {
+        &[PlatformKind::Zc702, PlatformKind::Vc707]
+    } else {
+        &PlatformKind::ALL
+    };
+    let runs = if ctx.quick { 10 } else { 100 };
+    println!("Table II — stability over {runs} runs at Vcrash (faults/Mbit)");
+    let mut text = format!("runs={runs}");
+    for &kind in kinds {
+        let p = kind.descriptor();
+        let model = FaultModel::new(p);
+        let mut board = Board::new(p);
+        let cfg = SweepConfig::quick(Rail::Vccbram, runs);
+        let mut span = tracer.span("stability_runs");
+        span.field("platform", kind.to_string().into());
+        Probe::Bram
+            .arm(&mut board, cfg.pattern)
+            .map_err(|e| format!("arm: {e:?}"))?;
+        let mbit = p.total_mbit();
+        let mut rates = Vec::with_capacity(runs as usize);
+        for run in 0..runs {
+            let faults = Probe::Bram
+                .sample_with_threads(&board, &model, &cfg, p.vccbram.vcrash, run, ctx.threads)
+                .map_err(|e| format!("sample: {e:?}"))?;
+            tracer.counter("runs", 1);
+            rates.push(faults as f64 / mbit);
+        }
+        let n = rates.len() as f64;
+        let avg = rates.iter().sum::<f64>() / n;
+        let min = rates.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = rates.iter().copied().fold(0.0f64, f64::max);
+        let sigma = (rates.iter().map(|r| (r - avg).powi(2)).sum::<f64>() / n).sqrt();
+        println!(
+            "  {:<8} avg {:>10.2}  min {:>10.2}  max {:>10.2}  σ {:>8.2}  (σ/avg {:.4})",
+            kind.to_string(),
+            avg,
+            min,
+            max,
+            sigma,
+            sigma / avg.max(f64::MIN_POSITIVE),
+        );
+        text.push_str(&format!(";{kind}={avg:.4}/{sigma:.4}"));
+        tracer.instant(
+            "platform_done",
+            vec![("avg_rate", avg.into()), ("sigma", sigma.into())],
+        );
+    }
+    Ok(CmdSummary {
+        platform: "all".into(),
+        seed: 0,
+        fingerprint: fnv1a(text.as_bytes()),
+    })
+}
+
+/// Fig. 13: per-layer vulnerability of the mapped network at `Vcrash`.
+fn run_fig13(ctx: &mut Ctx, tracer: &Tracer) -> Result<CmdSummary, String> {
+    let quick = ctx.quick;
+    let fx = ctx.fixture(tracer);
+    let platform = Platform::new(PlatformKind::Vc707);
+    let mut board = Board::with_chip_seed(platform, CHIP_SEED);
+    let model = FaultModel::with_chip_seed(platform, CHIP_SEED);
+    let cond = eval_condition(&model);
+    let mapped = MappedNetwork::load_traced(
+        &mut board,
+        &fx.qnet,
+        Placement::contiguous(&fx.weights),
+        tracer,
+    )
+    .map_err(|e| format!("load: {e:?}"))?;
+    let report = layer_vulnerability_traced(&mapped, &board, &model, &cond, &fx.data.test, tracer)
+        .map_err(|e| format!("vulnerability: {e:?}"))?;
+    println!("Fig. 13 — per-layer vulnerability (VC707 chip {CHIP_SEED} @ Vcrash, cold die)");
+    println!(
+        "  baseline {:.4}  all-layers {:.4}",
+        report.baseline, report.degraded
+    );
+    for (l, err) in report.per_layer.iter().enumerate() {
+        let mark = if l == report.dominant_layer() {
+            "  <- dominant"
+        } else {
+            ""
+        };
+        println!("  layer {l}: {err:.4}{mark}");
+    }
+    Ok(CmdSummary {
+        platform: PlatformKind::Vc707.to_string(),
+        seed: CHIP_SEED,
+        fingerprint: fnv1a(
+            format!("fig13:q={quick}:net={NET_SEED}:chip={CHIP_SEED}:run={EVAL_RUN_SEED}")
+                .as_bytes(),
+        ),
+    })
+}
+
+/// Fig. 14: contiguous vs ICBP placement at `Vcrash`.
+fn run_fig14(ctx: &mut Ctx, tracer: &Tracer) -> Result<CmdSummary, String> {
+    let quick = ctx.quick;
+    let fx = ctx.fixture(tracer);
+    let platform = Platform::new(PlatformKind::Vc707);
+    let mut board = Board::with_chip_seed(platform, CHIP_SEED);
+    let model = FaultModel::with_chip_seed(platform, CHIP_SEED);
+    let cond = eval_condition(&model);
+    let mapped = MappedNetwork::load_traced(
+        &mut board,
+        &fx.qnet,
+        Placement::contiguous(&fx.weights),
+        tracer,
+    )
+    .map_err(|e| format!("load: {e:?}"))?;
+    let report = layer_vulnerability_traced(&mapped, &board, &model, &cond, &fx.data.test, tracer)
+        .map_err(|e| format!("vulnerability: {e:?}"))?;
+    let dominant = report.dominant_layer();
+
+    let fvm = model.variation_map(cond.condition().v);
+    let icbp_placement = Placement::icbp(&fx.weights, &fvm, dominant);
+    let mut board2 = Board::with_chip_seed(platform, CHIP_SEED);
+    let remapped = MappedNetwork::load_traced(&mut board2, &fx.qnet, icbp_placement, tracer)
+        .map_err(|e| format!("icbp load: {e:?}"))?;
+    let icbp = remapped
+        .read_back_traced(&board2, &model, Some(&cond), LayerFaults::All, tracer)
+        .map_err(|e| format!("icbp read: {e:?}"))?
+        .error_on(&fx.data.test);
+    tracer.instant(
+        "icbp_done",
+        vec![("dominant", dominant.into()), ("error", icbp.into())],
+    );
+
+    println!("Fig. 14 — ICBP vs default placement (VC707 chip {CHIP_SEED} @ Vcrash, cold die)");
+    println!("  nominal (clean read-back)     {:.4}", report.baseline);
+    println!("  Vcrash, contiguous placement  {:.4}", report.degraded);
+    println!("  Vcrash, ICBP (layer {dominant} moved)  {icbp:.4}");
+    Ok(CmdSummary {
+        platform: PlatformKind::Vc707.to_string(),
+        seed: CHIP_SEED,
+        fingerprint: fnv1a(
+            format!("fig14:q={quick}:net={NET_SEED}:chip={CHIP_SEED}:run={EVAL_RUN_SEED}")
+                .as_bytes(),
+        ),
+    })
+}
+
+/// Validate the artifact triple `--check` style; error strings on failure.
+fn check_artifacts(
+    prom_text: &str,
+    manifest: &Manifest,
+    manifest_path: &std::path::Path,
+    jsonl_path: &std::path::Path,
+) -> Result<(), String> {
+    let samples = parse_exposition(prom_text).map_err(|e| format!("exposition invalid: {e}"))?;
+    let loaded = Manifest::load(manifest_path).map_err(|e| format!("manifest load: {e}"))?;
+    if &loaded != manifest {
+        return Err("manifest did not round-trip".into());
+    }
+    let log = std::fs::read_to_string(jsonl_path).map_err(|e| format!("event log: {e}"))?;
+    let mut lines = 0usize;
+    for (i, line) in log.lines().enumerate() {
+        Json::parse(line).map_err(|e| format!("event log line {}: {e:?}", i + 1))?;
+        lines += 1;
+    }
+    println!("  check ok: {samples} exposition samples, {lines} log lines, manifest round-trips");
+    Ok(())
+}
+
+fn run_command(cmd: &str, ctx: &mut Ctx) -> Result<(), String> {
+    std::fs::create_dir_all(&ctx.out).map_err(|e| format!("create {}: {e}", ctx.out.display()))?;
+    let jsonl_path = ctx.out.join(format!("{cmd}.jsonl"));
+    let jsonl = Arc::new(JsonlSink::create(&jsonl_path).map_err(|e| format!("event log: {e}"))?);
+    let prom = Arc::new(PrometheusSink::new());
+    let mem = Arc::new(MemorySink::new(16 * 1024));
+    let prefix = COMMANDS
+        .iter()
+        .find(|c| **c == cmd)
+        .expect("validated command");
+    let progress = Arc::new(ProgressSink::new(prefix));
+    let tracer = Tracer::builder()
+        .sink(jsonl.clone())
+        .sink(prom.clone())
+        .sink(mem.clone())
+        .sink(progress.clone())
+        .build();
+
+    let t0 = Instant::now();
+    let summary = match cmd {
+        "table1" => run_table1(ctx, &tracer),
+        "fig1" => run_fig1(ctx, &tracer),
+        "fig3" => run_fig3(ctx, &tracer),
+        "fig4" => run_fig4(ctx, &tracer),
+        "table2" => run_table2(ctx, &tracer),
+        "fig13" => run_fig13(ctx, &tracer),
+        "fig14" => run_fig14(ctx, &tracer),
+        other => Err(format!("unknown command {other}")),
+    }?;
+    tracer.flush();
+    let wall_ns_total = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+
+    let manifest = Manifest {
+        name: cmd.to_string(),
+        config_fingerprint: summary.fingerprint,
+        platform: summary.platform,
+        seed: summary.seed,
+        event_log: Some(jsonl_path.display().to_string()),
+        events: progress.total(),
+        wall_ns_total,
+        phases: Manifest::phases_from_events(&mem.events()),
+        counters: prom.counters(),
+    };
+    let prom_path = ctx.out.join(format!("{cmd}.prom"));
+    let prom_text = prom.render();
+    std::fs::write(&prom_path, &prom_text).map_err(|e| format!("write exposition: {e}"))?;
+    let manifest_path = ctx.out.join(format!("{cmd}_manifest.json"));
+    manifest
+        .save(&manifest_path)
+        .map_err(|e| format!("write manifest: {e}"))?;
+    println!(
+        "  wrote {} + {} + {} ({} events, {:.1} ms)",
+        jsonl_path.display(),
+        prom_path.display(),
+        manifest_path.display(),
+        manifest.events,
+        wall_ns_total as f64 / 1e6,
+    );
+    if ctx.check {
+        check_artifacts(&prom_text, &manifest, &manifest_path, &jsonl_path)?;
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "repro: {} mode, {} commands, out = {}\n",
+        if args.quick { "quick" } else { "paper-scale" },
+        args.commands.len(),
+        args.out.display(),
+    );
+    let mut ctx = Ctx {
+        quick: args.quick,
+        check: args.check,
+        threads: args.threads.max(1),
+        out: args.out,
+        fixture: None,
+    };
+    for cmd in &args.commands {
+        if let Err(msg) = run_command(cmd, &mut ctx) {
+            eprintln!("repro {cmd}: {msg}");
+            return ExitCode::FAILURE;
+        }
+        println!();
+    }
+    ExitCode::SUCCESS
+}

@@ -11,9 +11,12 @@
 //! ratios stored next to the raw samples, and assertions about them live
 //! in the caller (the `uvf-bench` binary prints them; CI archives them).
 
+#![deny(deprecated)]
+
 use std::hint::black_box;
 use std::time::Instant;
 use uvf_characterize::Json;
+use uvf_trace::{Histogram, PhaseTime};
 
 /// Global sizing of a suite run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,14 +69,25 @@ impl Measurement {
         self.median_ns as f64 / self.ops_per_sample.max(1) as f64
     }
 
+    /// The samples folded into a `uvf-trace` fixed-bucket histogram —
+    /// the source of the reported p50/p95/p99.
+    #[must_use]
+    pub fn histogram(&self) -> Histogram {
+        Histogram::from_samples(&self.samples_ns)
+    }
+
     #[must_use]
     pub fn to_json(&self) -> Json {
+        let hist = self.histogram();
         Json::obj(vec![
             ("name", Json::Str(self.name.clone())),
             ("ops_per_sample", Json::UInt(self.ops_per_sample)),
             ("median_ns", Json::UInt(self.median_ns)),
             ("min_ns", Json::UInt(self.min_ns)),
             ("max_ns", Json::UInt(self.max_ns)),
+            ("p50_ns", Json::UInt(hist.p50())),
+            ("p95_ns", Json::UInt(hist.p95())),
+            ("p99_ns", Json::UInt(hist.p99())),
             ("ns_per_op", Json::Float(self.ns_per_op())),
             (
                 "samples_ns",
@@ -143,6 +157,9 @@ pub struct Suite {
     pub threads: usize,
     pub measurements: Vec<Measurement>,
     pub derived: Vec<Derived>,
+    /// Per-phase wall time of the suite run itself (from `uvf-trace` root
+    /// spans), so `BENCH_sweep.json` records where the wall clock went.
+    pub phases: Vec<PhaseTime>,
 }
 
 impl Suite {
@@ -153,6 +170,7 @@ impl Suite {
             threads,
             measurements: Vec::new(),
             derived: Vec::new(),
+            phases: Vec::new(),
         }
     }
 
@@ -179,12 +197,26 @@ impl Suite {
     #[must_use]
     pub fn to_json_string(&self) -> String {
         Json::obj(vec![
-            ("version", Json::UInt(1)),
+            ("version", Json::UInt(2)),
             ("quick", Json::Bool(self.quick)),
             ("threads", Json::UInt(self.threads as u64)),
             (
                 "benches",
                 Json::Arr(self.measurements.iter().map(Measurement::to_json).collect()),
+            ),
+            (
+                "phases",
+                Json::Arr(
+                    self.phases
+                        .iter()
+                        .map(|p| {
+                            Json::obj(vec![
+                                ("name", Json::Str(p.name.clone())),
+                                ("wall_ns", Json::UInt(p.wall_ns)),
+                            ])
+                        })
+                        .collect(),
+                ),
             ),
             (
                 "derived",
@@ -250,9 +282,26 @@ mod tests {
             max_ns: 30,
         });
         suite.derive("speedup", 12.5);
+        suite.phases.push(PhaseTime {
+            name: "word_kernels".into(),
+            wall_ns: 1234,
+        });
         assert_eq!(suite.derived_value("speedup"), Some(12.5));
         let parsed = Json::parse(&suite.to_json_string()).unwrap();
+        assert_eq!(parsed.get("version").and_then(Json::as_u64), Some(2));
         assert_eq!(parsed.get("threads").and_then(Json::as_u64), Some(4));
+        // Quantiles are bucket-interpolated estimates clamped to [min, max].
+        let bench0 = parsed.get("benches").and_then(Json::as_arr).unwrap()[0].clone();
+        let p50 = bench0.get("p50_ns").and_then(Json::as_u64).unwrap();
+        let p99 = bench0.get("p99_ns").and_then(Json::as_u64).unwrap();
+        assert!((10..=30).contains(&p50));
+        assert!(p50 <= p99 && p99 <= 30);
+        let phase0 = parsed.get("phases").and_then(Json::as_arr).unwrap()[0].clone();
+        assert_eq!(
+            phase0.get("name").and_then(Json::as_str),
+            Some("word_kernels")
+        );
+        assert_eq!(phase0.get("wall_ns").and_then(Json::as_u64), Some(1234));
         let speedup = parsed
             .get("derived")
             .and_then(|d| d.get("speedup"))

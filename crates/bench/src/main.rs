@@ -14,19 +14,27 @@
 //! * `campaign/*` — the 4-board Table-I campaign, sequential vs the
 //!   work-stealing pool (`campaign_speedup` is wall-clock, so it only
 //!   exceeds 1 on multi-core hosts).
+//! * `traced_overhead/*` — the bulk-corruption kernel untraced vs wrapped
+//!   in a live `uvf-trace` span (`span_overhead_pct` is the acceptance
+//!   number: telemetry must cost < 5%).
+//!
+//! The suite run itself is traced: each bench group runs under a root span
+//! and the per-phase wall-time breakdown lands in `BENCH_sweep.json`.
 //!
 //! Usage: `uvf-bench [--quick] [--threads N] [--out PATH]`
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 use uvf_accel::{LayerFaults, MappedNetwork, Placement};
-use uvf_bench::{bench, BenchOptions, Measurement, Suite};
+use uvf_bench::{bench, median_ns, BenchOptions, Measurement, Suite};
 use uvf_characterize::prelude::{
     available_threads, Campaign, CampaignJob, Probe, RecoveryPolicy, SweepConfig,
 };
 use uvf_faults::{run_seed, FaultModel, ReadCondition};
 use uvf_fpga::{Board, BramId, Millivolts, PlatformKind, Rail, BRAM_ROWS};
 use uvf_nn::{Mlp, QNetwork};
+use uvf_trace::{Manifest, MemorySink, Tracer};
 
 struct Args {
     quick: bool,
@@ -296,6 +304,88 @@ fn bench_nn_inference(suite: &mut Suite, opts: &BenchOptions) {
     suite.derive("nn_fps_snapshot_weights", 1e9 / classify_ns);
 }
 
+/// The bulk-corruption kernel untraced vs inside a live span, to price the
+/// telemetry itself (the ISSUE acceptance bar is < 5% overhead).
+///
+/// Samples are **paired**: each iteration times the untraced kernel and the
+/// traced kernel back-to-back, and the reported overhead is the median of
+/// per-pair ratios. Two independently-timed medians would let scheduler
+/// drift on a noisy host masquerade as span cost; pairing cancels it.
+fn bench_traced_overhead(suite: &mut Suite, opts: &BenchOptions) {
+    let model = FaultModel::new(PlatformKind::Vc707.descriptor());
+    let resolved = model.resolve(&vcrash_condition(&model));
+    // Fixed size even in quick mode: the span's two events must amortize
+    // over a kernel invocation comparable to a real sweep level, or the
+    // overhead ratio measures the sink instead of the span.
+    let brams: u32 = 64;
+    let passes = 64u32;
+    let masks: Vec<_> = (0..brams)
+        .map(|b| model.fault_mask(BramId(b), &resolved))
+        .collect();
+    let ops = u64::from(brams) * BRAM_ROWS as u64 * u64::from(passes);
+    let pairs = opts.samples.max(3) * 3;
+    println!(
+        "traced overhead: bulk corruption, {brams} BRAMs x {passes} passes, {pairs} paired samples"
+    );
+
+    // Live tracer into a small ring buffer — the cheapest real sink, which
+    // is what a hot kernel would reasonably be wired to.
+    let sink = Arc::new(MemorySink::new(64));
+    let tracer = Tracer::builder().sink(sink).build();
+    let mut words = [0xFFFFu16; BRAM_ROWS];
+    let run_untraced = |words: &mut [u16; BRAM_ROWS]| {
+        for _ in 0..passes {
+            for mask in &masks {
+                mask.apply_all(words);
+            }
+        }
+    };
+    let run_traced = |words: &mut [u16; BRAM_ROWS]| {
+        let _span = tracer.span("bulk_corruption");
+        for _ in 0..passes {
+            for mask in &masks {
+                mask.apply_all(words);
+            }
+        }
+    };
+    for _ in 0..opts.warmup_iters {
+        run_untraced(&mut words);
+        run_traced(&mut words);
+    }
+    let mut untraced_ns = Vec::with_capacity(pairs as usize);
+    let mut traced_ns = Vec::with_capacity(pairs as usize);
+    let mut ratios = Vec::with_capacity(pairs as usize);
+    for _ in 0..pairs {
+        let t0 = std::time::Instant::now();
+        run_untraced(&mut words);
+        let un = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let t1 = std::time::Instant::now();
+        run_traced(&mut words);
+        let tr = u64::try_from(t1.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        std::hint::black_box(words[0]);
+        untraced_ns.push(un);
+        traced_ns.push(tr);
+        ratios.push(tr as f64 / un.max(1) as f64);
+    }
+    for (name, samples) in [
+        ("traced_overhead/bulk_corruption_untraced", &untraced_ns),
+        ("traced_overhead/bulk_corruption_traced", &traced_ns),
+    ] {
+        let m = Measurement {
+            name: name.to_string(),
+            ops_per_sample: ops,
+            samples_ns: samples.clone(),
+            median_ns: median_ns(samples),
+            min_ns: *samples.iter().min().expect("nonempty"),
+            max_ns: *samples.iter().max().expect("nonempty"),
+        };
+        print_measurement(suite.record(m));
+    }
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+    let median_ratio = ratios[ratios.len() / 2];
+    suite.derive("span_overhead_pct", ((median_ratio - 1.0) * 100.0).max(0.0));
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(args) => args,
@@ -317,18 +407,46 @@ fn main() -> ExitCode {
         opts.samples
     );
 
-    let mut suite = Suite::new(args.quick, threads);
-    bench_word_kernels(&mut suite, &opts);
-    println!();
-    bench_platform_scan(&mut suite, &opts, threads);
-    println!();
-    bench_campaign(&mut suite, &opts, threads);
-    println!();
-    bench_nn_inference(&mut suite, &opts);
+    // Trace the suite run itself: one root span per bench group, folded
+    // into the JSON as the per-phase wall-time breakdown.
+    let phase_sink = Arc::new(MemorySink::new(64));
+    let phase_tracer = Tracer::builder().sink(phase_sink.clone()).build();
 
+    let mut suite = Suite::new(args.quick, threads);
+    {
+        let _p = phase_tracer.span("word_kernels");
+        bench_word_kernels(&mut suite, &opts);
+    }
+    println!();
+    {
+        let _p = phase_tracer.span("platform_scan");
+        bench_platform_scan(&mut suite, &opts, threads);
+    }
+    println!();
+    {
+        let _p = phase_tracer.span("campaign");
+        bench_campaign(&mut suite, &opts, threads);
+    }
+    println!();
+    {
+        let _p = phase_tracer.span("nn_inference");
+        bench_nn_inference(&mut suite, &opts);
+    }
+    println!();
+    {
+        let _p = phase_tracer.span("traced_overhead");
+        bench_traced_overhead(&mut suite, &opts);
+    }
+    suite.phases = Manifest::phases_from_events(&phase_sink.events());
+
+    println!("\nphases:");
+    for p in &suite.phases {
+        println!("  {:<32} {:>10.1} ms", p.name, p.wall_ns as f64 / 1e6);
+    }
     println!("\nderived:");
     for d in &suite.derived {
-        println!("  {:<32} {:>8.2}x", d.name, d.value);
+        let unit = if d.name.ends_with("_pct") { '%' } else { 'x' };
+        println!("  {:<32} {:>8.2}{unit}", d.name, d.value);
     }
     if threads < 4 {
         println!("  (campaign/scan speedups need >= 4 cores to show; this host has {threads})");

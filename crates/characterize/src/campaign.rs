@@ -22,6 +22,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use uvf_fpga::{Board, PlatformKind};
+use uvf_trace::Tracer;
 
 /// One board's sweep within a campaign.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -87,6 +88,11 @@ pub struct Campaign {
     policy: RecoveryPolicy,
     checkpoint_dir: Option<PathBuf>,
     scan_threads: usize,
+    /// Passive observability shared by the pool and inherited by every
+    /// job's harness. With multiple board threads the interleaving of
+    /// *campaign-level* events follows the (nondeterministic) scheduler;
+    /// each job's own event sub-stream stays deterministic.
+    tracer: Tracer,
 }
 
 impl Campaign {
@@ -97,7 +103,16 @@ impl Campaign {
             policy,
             checkpoint_dir: None,
             scan_threads: 1,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attach a tracer; every job's harness inherits it. Results are
+    /// bit-identical with or without one.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Campaign {
+        self.tracer = tracer;
+        self
     }
 
     /// The paper's Table-I setup: the same sweep on all four boards.
@@ -136,21 +151,65 @@ impl Campaign {
         self
     }
 
-    fn run_job(&self, job: &CampaignJob) -> Result<CampaignEntry, HarnessError> {
-        let mut harness =
-            Harness::new(job.board(), job.cfg, self.policy)?.with_scan_threads(self.scan_threads);
+    /// One job's full lifecycle: claim → sweep → done, with progress/ETA
+    /// after completion. `done` counts finished jobs across the pool.
+    fn run_job(
+        &self,
+        idx: usize,
+        job: &CampaignJob,
+        done: &AtomicUsize,
+    ) -> Result<CampaignEntry, HarnessError> {
+        self.tracer.instant(
+            "job_claimed",
+            vec![
+                ("job", idx.into()),
+                ("platform", job.kind.to_string().into()),
+                ("jobs_total", self.jobs.len().into()),
+            ],
+        );
+        let mut harness = Harness::new(job.board(), job.cfg, self.policy)?
+            .with_scan_threads(self.scan_threads)
+            .with_tracer(self.tracer.clone());
         if let Some(dir) = &self.checkpoint_dir {
             harness = harness.with_checkpoint_path(dir.join(job.checkpoint_name()))?;
         }
-        let outcome = harness.run()?;
-        let record = harness.record().clone();
-        Ok(CampaignEntry {
-            job: *job,
-            outcome,
-            record: record.clone(),
-            report: GuardbandReport::from_record(&record),
-            sim_ms: harness.clock_ms(),
-        })
+        let result = harness.run();
+        let jobs_done = done.fetch_add(1, Ordering::Relaxed) + 1;
+        match result {
+            Ok(outcome) => {
+                self.tracer.counter("jobs_done", 1);
+                self.tracer.instant(
+                    "job_done",
+                    vec![
+                        ("job", idx.into()),
+                        ("platform", job.kind.to_string().into()),
+                        ("sim_ms", harness.clock_ms().into()),
+                        ("jobs_done", jobs_done.into()),
+                        ("jobs_total", self.jobs.len().into()),
+                    ],
+                );
+                let record = harness.record().clone();
+                Ok(CampaignEntry {
+                    job: *job,
+                    outcome,
+                    record: record.clone(),
+                    report: GuardbandReport::from_record(&record),
+                    sim_ms: harness.clock_ms(),
+                })
+            }
+            Err(e) => {
+                self.tracer.counter("jobs_failed", 1);
+                self.tracer.instant(
+                    "job_failed",
+                    vec![
+                        ("job", idx.into()),
+                        ("platform", job.kind.to_string().into()),
+                        ("error", e.to_string().into()),
+                    ],
+                );
+                Err(e)
+            }
+        }
     }
 
     fn ensure_checkpoint_dir(&self) -> Result<(), HarnessError> {
@@ -169,7 +228,16 @@ impl Campaign {
     /// parallel path is required to reproduce byte-for-byte.
     pub fn run_sequential(&self) -> Result<Vec<CampaignEntry>, HarnessError> {
         self.ensure_checkpoint_dir()?;
-        self.jobs.iter().map(|job| self.run_job(job)).collect()
+        let _span = self.tracer.span_with(
+            "campaign",
+            vec![("jobs", self.jobs.len().into()), ("workers", 1usize.into())],
+        );
+        let done = AtomicUsize::new(0);
+        self.jobs
+            .iter()
+            .enumerate()
+            .map(|(idx, job)| self.run_job(idx, job, &done))
+            .collect()
     }
 
     /// Run the jobs on `board_threads` workers stealing from a shared
@@ -181,7 +249,15 @@ impl Campaign {
             return self.run_sequential();
         }
         self.ensure_checkpoint_dir()?;
+        let _span = self.tracer.span_with(
+            "campaign",
+            vec![
+                ("jobs", self.jobs.len().into()),
+                ("workers", workers.into()),
+            ],
+        );
         let cursor = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<Result<CampaignEntry, HarnessError>>>> =
             self.jobs.iter().map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
@@ -194,7 +270,7 @@ impl Campaign {
                     let Some(job) = self.jobs.get(idx) else {
                         return;
                     };
-                    let result = self.run_job(job);
+                    let result = self.run_job(idx, job, &done);
                     *slots[idx].lock().expect("campaign slot poisoned") = Some(result);
                 });
             }

@@ -27,6 +27,7 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 use uvf_faults::FaultModel;
 use uvf_fpga::{Board, BoardError, Millivolts};
+use uvf_trace::Tracer;
 
 /// Simulated cost of one write/read-back run.
 pub const MS_PER_RUN: u64 = 3;
@@ -163,6 +164,9 @@ pub struct Harness {
     /// Workers for the per-BRAM probe scan (1 = sequential). Pure
     /// performance knob: records are bit-identical for every value.
     scan_threads: usize,
+    /// Passive observability: events mirror what the harness does and
+    /// never influence it, so records are bit-identical with tracing on.
+    tracer: Tracer,
 }
 
 impl Harness {
@@ -191,7 +195,21 @@ impl Harness {
             armed: false,
             runs_since_checkpoint: 0,
             scan_threads: 1,
+            tracer: Tracer::disabled(),
         })
+    }
+
+    /// Attach a tracer. Telemetry is strictly passive: the sweep record is
+    /// bit-identical whether the tracer is enabled, disabled, or absent.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Harness {
+        self.tracer = tracer;
+        self
+    }
+
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Fan the per-BRAM probe scan over `threads` workers (`<= 1` stays
@@ -242,6 +260,15 @@ impl Harness {
             self.board.set_noise_band_mv(self.cfg.noise_band_mv);
             self.board.set_temperature_c(self.cfg.temperature_c);
             self.armed = false;
+            self.tracer.counter("checkpoint_loads", 1);
+            self.tracer.instant_at(
+                self.clock.now_ms(),
+                "checkpoint_loaded",
+                vec![
+                    ("levels_done", self.record.levels.len().into()),
+                    ("attempt", self.attempt.into()),
+                ],
+            );
         }
         self.checkpoint_path = Some(path);
         Ok(self)
@@ -287,16 +314,30 @@ impl Harness {
     pub fn run_budgeted(&mut self, max_runs: u64) -> Result<HarnessStatus, HarnessError> {
         let ladder = self.cfg.levels();
         let mut done: u64 = 0;
+        let mut sweep_span = self.tracer.span_with(
+            "sweep",
+            vec![
+                ("levels_total", ladder.len().into()),
+                ("runs_per_level", self.record.runs_per_level.into()),
+            ],
+        );
         loop {
             let Some((level_idx, run)) = self.position(&ladder) else {
                 if self.record.outcome == SweepOutcome::InProgress {
                     self.record.outcome = SweepOutcome::FloorReached;
                 }
                 self.save_checkpoint()?;
+                self.emit_sweep_done(&mut sweep_span);
                 return Ok(HarnessStatus::Finished(self.record.outcome));
             };
             if done >= max_runs {
                 self.save_checkpoint()?;
+                self.tracer.instant_at(
+                    self.clock.now_ms(),
+                    "sweep_paused",
+                    vec![("runs_done", done.into())],
+                );
+                sweep_span.field("paused", true.into());
                 return Ok(HarnessStatus::Paused { runs_done: done });
             }
             if self.record.levels.len() == level_idx {
@@ -305,13 +346,76 @@ impl Harness {
                     crashed: false,
                     runs: Vec::new(),
                 });
+                self.tracer.instant_at(
+                    self.clock.now_ms(),
+                    "level_start",
+                    vec![
+                        ("level", level_idx.into()),
+                        ("v_mv", ladder[level_idx].0.into()),
+                    ],
+                );
             }
             let survived = self.measure_run(level_idx, ladder[level_idx], run)?;
             done += 1;
-            if !survived {
+            if survived {
+                self.emit_level_progress(level_idx, &ladder);
+            } else {
+                self.emit_sweep_done(&mut sweep_span);
                 return Ok(HarnessStatus::Finished(self.record.outcome));
             }
         }
+    }
+
+    /// Emit `level_done` with deterministic progress/ETA once the current
+    /// level has all its runs. The ETA extrapolates the *simulated* clock
+    /// over the remaining ladder, so it is bit-stable across reruns.
+    fn emit_level_progress(&self, level_idx: usize, ladder: &[Millivolts]) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        let level = &self.record.levels[level_idx];
+        if (level.runs.len() as u32) < self.record.runs_per_level {
+            return;
+        }
+        let done = level_idx as u64 + 1;
+        let remaining = ladder.len() as u64 - done;
+        let eta_ms = (self.clock.now_ms() / done).saturating_mul(remaining);
+        self.tracer.instant_at(
+            self.clock.now_ms(),
+            "level_done",
+            vec![
+                ("level", level_idx.into()),
+                ("v_mv", level.v_mv.into()),
+                (
+                    "faults",
+                    level.runs.iter().map(|r| r.faults).sum::<u64>().into(),
+                ),
+                ("levels_done", done.into()),
+                ("levels_total", ladder.len().into()),
+                ("eta_ms", eta_ms.into()),
+            ],
+        );
+    }
+
+    fn emit_sweep_done(&self, sweep_span: &mut uvf_trace::Span) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        let outcome = match self.record.outcome {
+            SweepOutcome::InProgress => "in_progress",
+            SweepOutcome::FloorReached => "floor_reached",
+            SweepOutcome::CrashFound { .. } => "crash_found",
+        };
+        sweep_span.field("outcome", outcome.into());
+        self.tracer.instant_at(
+            self.clock.now_ms(),
+            "sweep_done",
+            vec![
+                ("outcome", outcome.into()),
+                ("levels_done", self.record.levels.len().into()),
+                ("power_cycles", self.record.power_cycles.into()),
+            ],
+        );
     }
 
     /// Next (ladder index, run index) to measure, or `None` when done.
@@ -381,6 +485,17 @@ impl Harness {
                         detected_ms: self.policy.watchdog_timeout_ms,
                         backoff_ms: backoff,
                     });
+                    self.tracer.counter("crashes", 1);
+                    self.tracer.instant_at(
+                        self.clock.now_ms(),
+                        "crash",
+                        vec![
+                            ("v_mv", v.0.into()),
+                            ("run", run.into()),
+                            ("attempt", self.attempt.into()),
+                            ("detected_ms", self.policy.watchdog_timeout_ms.into()),
+                        ],
+                    );
                     if self.attempt >= self.policy.max_retries {
                         // Retries exhausted: this level is below the crash
                         // boundary; the level above is Vcrash (Fig. 1).
@@ -388,17 +503,48 @@ impl Harness {
                         self.record.outcome = SweepOutcome::CrashFound {
                             vcrash_mv: v.0 + self.cfg.step_mv,
                         };
+                        self.tracer.instant_at(
+                            self.clock.now_ms(),
+                            "crash_boundary",
+                            vec![
+                                ("v_mv", v.0.into()),
+                                ("vcrash_mv", (v.0 + self.cfg.step_mv).into()),
+                            ],
+                        );
                         self.save_checkpoint()?;
                         return Ok(false);
                     }
                     self.attempt += 1;
+                    self.tracer.instant_at(
+                        self.clock.now_ms(),
+                        "backoff",
+                        vec![
+                            ("backoff_ms", backoff.into()),
+                            ("attempt", self.attempt.into()),
+                        ],
+                    );
                     self.clock.advance(backoff);
                     self.board.power_cycle();
                     self.record.power_cycles += 1;
+                    self.tracer.counter("power_cycles", 1);
+                    self.tracer.instant_at(
+                        self.clock.now_ms(),
+                        "power_cycle",
+                        vec![("v_mv", v.0.into())],
+                    );
                     self.armed = false;
                     // Persist the attempt counter before retrying so a
                     // process death here replays the same noise rolls.
                     self.save_checkpoint()?;
+                    self.tracer.instant_at(
+                        self.clock.now_ms(),
+                        "resume",
+                        vec![
+                            ("v_mv", v.0.into()),
+                            ("run", run.into()),
+                            ("attempt", self.attempt.into()),
+                        ],
+                    );
                 }
             }
         }
@@ -413,6 +559,14 @@ impl Harness {
             // fresh noise but replays see the same.
             self.board
                 .apply_supply_noise(self.cfg.rail, run, self.attempt);
+            let _scan = self.tracer.span_with(
+                "probe_scan",
+                vec![
+                    ("v_mv", v.0.into()),
+                    ("run", run.into()),
+                    ("threads", self.scan_threads.into()),
+                ],
+            );
             self.probe.sample_with_threads(
                 &self.board,
                 &self.model,
@@ -423,7 +577,10 @@ impl Harness {
             )
         });
         match result {
-            Ok(faults) => Ok(Some(faults)),
+            Ok(faults) => {
+                self.tracer.counter("runs", 1);
+                Ok(Some(faults))
+            }
             Err(BoardError::Crashed { .. }) => Ok(None),
             Err(e) => Err(HarnessError::Board(e)),
         }
@@ -454,6 +611,12 @@ impl Harness {
             clock_ms: self.clock.now_ms(),
         };
         cp.save(path)?;
+        self.tracer.counter("checkpoint_writes", 1);
+        self.tracer.instant_at(
+            self.clock.now_ms(),
+            "checkpoint_saved",
+            vec![("levels_done", self.record.levels.len().into())],
+        );
         Ok(())
     }
 }

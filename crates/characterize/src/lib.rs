@@ -3,7 +3,8 @@
 //!
 //! Layering:
 //!
-//! * [`json`] — dependency-free JSON with byte-stable serialization,
+//! * [`json`] — dependency-free JSON with byte-stable serialization (now
+//!   owned by `uvf-trace`, re-exported here for compatibility),
 //! * [`record`] — sweep records, crash telemetry and atomic checkpoints,
 //! * [`sweep`] — Listing-1 configuration and the BRAM/logic probes,
 //! * [`parallel`] — deterministic scoped-thread fan-out of the per-BRAM
@@ -20,13 +21,19 @@
 //! stochastic draw is keyed by position (level, run, attempt), never by
 //! wall-clock or call count.
 
+#![deny(deprecated)]
+
 pub mod campaign;
 pub mod guardband;
 pub mod harness;
-pub mod json;
 pub mod parallel;
 pub mod record;
 pub mod sweep;
+
+/// Byte-stable JSON (de)serialization. The module moved to [`uvf_trace`]
+/// so the event log and run manifests share it; this re-export keeps
+/// every existing `uvf_characterize::json::…` path working.
+pub use uvf_trace::json;
 
 pub use campaign::{Campaign, CampaignEntry, CampaignJob};
 pub use guardband::{discover, discover_all, GuardbandReport};
@@ -38,6 +45,7 @@ pub use record::{
     SweepRecord, RECORD_VERSION,
 };
 pub use sweep::{Probe, SweepConfig, SweepConfigBuilder};
+pub use uvf_trace::{Tracer, TracerBuilder};
 
 /// The one-stop import for downstream crates (`uvf-accel`, `uvf-bench`,
 /// examples): everything needed to configure, run and persist a
@@ -58,4 +66,5 @@ pub mod prelude {
     pub use crate::parallel::available_threads;
     pub use crate::record::{Checkpoint, FvmRecord, LevelRecord, SweepOutcome, SweepRecord};
     pub use crate::sweep::{Probe, SweepConfig, SweepConfigBuilder};
+    pub use uvf_trace::{Tracer, TracerBuilder};
 }

@@ -1,0 +1,144 @@
+//! Observability invariants of the traced sweep stack:
+//!
+//! * recovery lifecycle events come out in the physical order the harness
+//!   performs them — crash → backoff → power-cycle → resume — on every
+//!   platform, with the terminal crash closed by a `crash_boundary`;
+//! * the JSONL event log is byte-identical across reruns of the same
+//!   sweep (wall-clock never leaks into the log);
+//! * telemetry is strictly passive: a traced sweep's records equal an
+//!   untraced sweep's, bit for bit.
+
+use std::sync::Arc;
+use uvf_characterize::prelude::{Harness, RecoveryPolicy, SweepConfig};
+use uvf_fpga::{Board, Millivolts, PlatformKind, Rail};
+use uvf_trace::{EventKind, JsonlSink, MemorySink, Tracer};
+
+/// A short ladder that still walks through `Vmin` and the induced crash.
+fn crashing_cfg(kind: PlatformKind) -> SweepConfig {
+    SweepConfig::builder(Rail::Vccbram)
+        .runs(2)
+        .start(Millivolts(kind.descriptor().vccbram.vmin.0 + 20))
+        .build()
+}
+
+fn run_traced(kind: PlatformKind, tracer: Tracer) -> Harness {
+    let board = Board::new(kind.descriptor());
+    let mut harness = Harness::new(board, crashing_cfg(kind), RecoveryPolicy::default())
+        .expect("valid config")
+        .with_tracer(tracer);
+    harness.run().expect("sweep completes");
+    harness
+}
+
+#[test]
+fn recovery_events_follow_the_physical_order_on_every_platform() {
+    for kind in PlatformKind::ALL {
+        let mem = Arc::new(MemorySink::new(1 << 14));
+        let harness = run_traced(kind, Tracer::builder().sink(mem.clone()).build());
+        let events = mem.events();
+        assert_eq!(mem.dropped(), 0, "{kind}: ring must hold the whole run");
+
+        let lifecycle: Vec<&str> = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Instant))
+            .map(|e| e.name.as_ref())
+            .filter(|n| {
+                matches!(
+                    *n,
+                    "crash" | "backoff" | "power_cycle" | "resume" | "crash_boundary"
+                )
+            })
+            .collect();
+
+        // The stream must be (crash backoff power_cycle resume)* with the
+        // final crash closed by crash_boundary instead of a retry.
+        let mut i = 0;
+        let mut recoveries = 0;
+        let mut boundaries = 0;
+        while i < lifecycle.len() {
+            assert_eq!(
+                lifecycle[i], "crash",
+                "{kind}: cycle must open with a crash"
+            );
+            if lifecycle.get(i + 1) == Some(&"crash_boundary") {
+                boundaries += 1;
+                i += 2;
+                continue;
+            }
+            assert_eq!(
+                &lifecycle[i + 1..i + 4],
+                &["backoff", "power_cycle", "resume"],
+                "{kind}: recovery out of order in {lifecycle:?}",
+            );
+            recoveries += 1;
+            i += 4;
+        }
+        assert!(
+            recoveries >= 1,
+            "{kind}: the induced crash must be survived"
+        );
+        assert_eq!(boundaries, 1, "{kind}: exactly one terminal crash");
+
+        // Event counts must agree with the sweep record's own telemetry.
+        let record = harness.record();
+        assert_eq!(
+            recoveries + boundaries,
+            record.crash_events.len(),
+            "{kind}: one crash event per recorded crash",
+        );
+        assert_eq!(
+            u32::try_from(recoveries).unwrap(),
+            record.power_cycles,
+            "{kind}: one power_cycle event per recorded power cycle",
+        );
+    }
+}
+
+#[test]
+fn traced_sweep_jsonl_is_byte_identical_across_reruns() {
+    let dir = std::env::temp_dir().join(format!("uvf-trace-rerun-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let write_log = |name: &str| -> String {
+        let path = dir.join(name);
+        let sink = Arc::new(JsonlSink::create(&path).unwrap());
+        let tracer = Tracer::builder().sink(sink).build();
+        let harness = run_traced(PlatformKind::Zc702, tracer.clone());
+        tracer.flush();
+        drop(harness);
+        std::fs::read_to_string(&path).unwrap()
+    };
+    let a = write_log("a.jsonl");
+    let b = write_log("b.jsonl");
+    assert!(!a.is_empty(), "the sweep must emit events");
+    assert!(a.contains("\"name\":\"crash\""), "crashes land in the log");
+    assert_eq!(a, b, "identical sweeps must produce identical logs");
+    assert!(
+        !a.contains("wall_ns"),
+        "wall clock never leaks into the log"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn tracing_is_passive_traced_records_equal_untraced() {
+    for kind in PlatformKind::ALL {
+        let untraced = {
+            let board = Board::new(kind.descriptor());
+            let mut h = Harness::new(board, crashing_cfg(kind), RecoveryPolicy::default())
+                .expect("valid config");
+            h.run().expect("sweep completes");
+            h.record().clone()
+        };
+        let mem = Arc::new(MemorySink::new(1 << 14));
+        let traced = run_traced(kind, Tracer::builder().sink(mem.clone()).build());
+        assert_eq!(
+            traced.record(),
+            &untraced,
+            "{kind}: tracing must not perturb the sweep",
+        );
+        assert!(
+            !mem.events().is_empty(),
+            "{kind}: the tracer did observe the run"
+        );
+    }
+}

@@ -13,6 +13,8 @@
 //! `(platform, chip_seed)` must yield bit-identical read-backs across
 //! model rebuilds, power cycles and checkpoint-resumed sweeps.
 
+#![deny(deprecated)]
+
 pub mod fvm;
 pub mod mask;
 pub mod model;

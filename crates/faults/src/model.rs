@@ -238,10 +238,35 @@ impl FaultModel {
     /// Fault masks of every BRAM on the die, in `BramId` order.
     #[must_use]
     pub fn fault_masks(&self, cond: &ReadCondition) -> Vec<FaultMask> {
+        self.fault_masks_traced(cond, &uvf_trace::Tracer::disabled())
+    }
+
+    /// [`FaultModel::fault_masks`] with the whole build timed as a span
+    /// and per-BRAM flip totals reported as counters. Telemetry is
+    /// passive: the returned masks are identical with any tracer.
+    #[must_use]
+    pub fn fault_masks_traced(
+        &self,
+        cond: &ReadCondition,
+        tracer: &uvf_trace::Tracer,
+    ) -> Vec<FaultMask> {
+        let mut span = tracer.span_with(
+            "fault_masks_build",
+            vec![
+                ("brams", (self.platform.bram_count as u32).into()),
+                ("v_mv", cond.v.0.into()),
+            ],
+        );
         let resolved = self.resolve(cond);
-        (0..self.platform.bram_count as u32)
+        let masks: Vec<FaultMask> = (0..self.platform.bram_count as u32)
             .map(|b| FaultMask::build(self, BramId(b), &resolved))
-            .collect()
+            .collect();
+        if tracer.enabled() {
+            let flips: u64 = masks.iter().map(|m| u64::from(m.flip_cells())).sum();
+            tracer.counter("mask_flip_cells", flips);
+            span.field("flip_cells", flips.into());
+        }
+        masks
     }
 
     /// Visit every cell of `bram` that flips under `cond`, in descending

@@ -55,26 +55,6 @@ impl DataPattern {
         }
     }
 
-    /// Stable short name used in records and checkpoints.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use the `Display` impl (`pattern.to_string()`) instead"
-    )]
-    #[must_use]
-    pub fn name(self) -> &'static str {
-        self.short_name()
-    }
-
-    /// Inverse of the stable short name.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use the `FromStr` impl (`s.parse::<DataPattern>()`) instead"
-    )]
-    #[must_use]
-    pub fn from_name(name: &str) -> Option<DataPattern> {
-        name.parse().ok()
-    }
-
     /// The word this pattern stores at `row` of `bram`.
     #[must_use]
     pub fn word(self, bram: BramId, row: u32) -> u16 {
@@ -218,14 +198,6 @@ mod tests {
         }
         assert_eq!("0xFFFF".parse(), Ok(DataPattern::AllOnes));
         assert!("cafe".parse::<DataPattern>().is_err());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_pattern_wrappers_still_work() {
-        for p in DataPattern::ALL {
-            assert_eq!(DataPattern::from_name(p.name()), Some(p));
-        }
     }
 
     #[test]

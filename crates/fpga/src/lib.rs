@@ -11,6 +11,8 @@
 //! Undervolting corruption is layered on by `uvf-faults`, because weak
 //! cells are a property of the die, not of the data or the board logic.
 
+#![deny(deprecated)]
+
 pub mod board;
 pub mod bram;
 pub mod error;

@@ -43,26 +43,6 @@ impl PlatformKind {
         }
     }
 
-    /// Stable short name used in records, checkpoints and CLIs.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use the `Display` impl (`kind.to_string()`) instead"
-    )]
-    #[must_use]
-    pub fn name(self) -> &'static str {
-        self.short_name()
-    }
-
-    /// Inverse of the stable short name.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use the `FromStr` impl (`s.parse::<PlatformKind>()`) instead"
-    )]
-    #[must_use]
-    pub fn from_name(name: &str) -> Option<PlatformKind> {
-        name.parse().ok()
-    }
-
     #[must_use]
     pub fn descriptor(self) -> Platform {
         Platform::new(self)
@@ -235,15 +215,5 @@ mod tests {
         assert_eq!("VC707".parse(), Ok(PlatformKind::Vc707));
         assert_eq!("KC705-A".parse(), Ok(PlatformKind::Kc705A));
         assert_eq!("kc705-b".parse(), Ok(PlatformKind::Kc705B));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_still_work() {
-        for kind in PlatformKind::ALL {
-            assert_eq!(PlatformKind::from_name(kind.name()), Some(kind));
-            assert_eq!(kind.name(), kind.to_string());
-        }
-        assert_eq!(PlatformKind::from_name("vc709"), None);
     }
 }

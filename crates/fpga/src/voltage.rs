@@ -63,26 +63,6 @@ impl Rail {
             Rail::Vccaux => "vccaux",
         }
     }
-
-    /// Stable lowercase name used in records and checkpoints.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use the `Display` impl (`rail.to_string()`) instead"
-    )]
-    #[must_use]
-    pub fn name(self) -> &'static str {
-        self.short_name()
-    }
-
-    /// Inverse of the stable short name.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use the `FromStr` impl (`s.parse::<Rail>()`) instead"
-    )]
-    #[must_use]
-    pub fn from_name(name: &str) -> Option<Rail> {
-        name.parse().ok()
-    }
 }
 
 /// Writes the stable short name (`vccbram`, …) used in records and

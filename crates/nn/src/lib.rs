@@ -22,6 +22,8 @@
 //! assert!(q.to_mlp().error_on(&data.test) < 0.2);
 //! ```
 
+#![deny(deprecated)]
+
 pub mod datasets;
 pub mod mlp;
 pub mod qtensor;

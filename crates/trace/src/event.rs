@@ -1,0 +1,270 @@
+//! The structured event: the unit every [`crate::Sink`] consumes.
+//!
+//! An event is deliberately split into a **deterministic core** (sequence
+//! number, kind, name, span linkage, simulated time, fields) and a
+//! **wall-clock annex** (`wall_ns`). The JSONL log serializes only the
+//! core, which is what makes a traced sweep's event log byte-identical
+//! across reruns; wall time flows into the metric sinks (histograms,
+//! phase breakdowns) where bit-stability is not a requirement.
+
+use crate::json::Json;
+use std::borrow::Cow;
+
+/// A field value attached to an event. Mirrors the JSON scalar types; no
+/// nesting — events are flat on purpose so every sink can render them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Str(String),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+}
+
+impl Value {
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        match self {
+            Value::Str(s) => Json::Str(s.clone()),
+            Value::U64(v) => Json::UInt(*v),
+            Value::I64(v) => Json::Int(*v),
+            Value::F64(v) => Json::Float(*v),
+            Value::Bool(b) => Json::Bool(*b),
+        }
+    }
+
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(v) => Some(*v),
+            Value::I64(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::U64(v)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Value {
+        Value::U64(u64::from(v))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+/// What an event *is*; the payloads that define the kind ride inside it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A scoped timer opened (`span` carries its id).
+    SpanStart,
+    /// A scoped timer closed; `wall_ns` holds its measured duration.
+    SpanEnd,
+    /// A point-in-time fact (crash, power-cycle, checkpoint, progress…).
+    Instant,
+    /// A monotonic counter increment; sinks merge increments by summing,
+    /// so any interleaving of emitters converges to the same total.
+    Counter { delta: u64 },
+    /// A kernel timing sample over `ops` work units. Aggregate-only: the
+    /// JSONL sink skips it (wall time is nondeterministic), the metric
+    /// sinks fold it into histograms.
+    Timing { ns: u64, ops: u64 },
+}
+
+impl EventKind {
+    /// Stable lowercase label used in the JSONL `kind` field.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::SpanStart => "span_start",
+            EventKind::SpanEnd => "span_end",
+            EventKind::Instant => "instant",
+            EventKind::Counter { .. } => "counter",
+            EventKind::Timing { .. } => "timing",
+        }
+    }
+}
+
+/// One structured trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Monotonic per-tracer sequence number (deterministic on a
+    /// single-threaded emitter).
+    pub seq: u64,
+    pub kind: EventKind,
+    pub name: Cow<'static, str>,
+    /// Span this event belongs to (its own id for span start/end).
+    pub span: Option<u64>,
+    /// Enclosing span at emission time, if any.
+    pub parent: Option<u64>,
+    /// Simulated time, when the emitter runs on a deterministic
+    /// timeline (`uvf_characterize::SimClock` and friends).
+    pub sim_ms: Option<u64>,
+    /// Wall-clock duration (span ends). Never serialized into the
+    /// deterministic JSONL form.
+    pub wall_ns: Option<u64>,
+    pub fields: Vec<(Cow<'static, str>, Value)>,
+}
+
+impl Event {
+    /// Look up a field by name.
+    #[must_use]
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// The event as a JSON object. `include_wall` opts into the
+    /// nondeterministic `wall_ns` annex (debug logs only — the default
+    /// JSONL sink keeps it out so logs stay byte-stable).
+    #[must_use]
+    pub fn to_json(&self, include_wall: bool) -> Json {
+        let mut obj: Vec<(String, Json)> = vec![
+            ("seq".into(), Json::UInt(self.seq)),
+            ("kind".into(), Json::Str(self.kind.label().into())),
+            ("name".into(), Json::Str(self.name.to_string())),
+        ];
+        if let Some(span) = self.span {
+            obj.push(("span".into(), Json::UInt(span)));
+        }
+        if let Some(parent) = self.parent {
+            obj.push(("parent".into(), Json::UInt(parent)));
+        }
+        if let Some(sim_ms) = self.sim_ms {
+            obj.push(("sim_ms".into(), Json::UInt(sim_ms)));
+        }
+        match self.kind {
+            EventKind::Counter { delta } => obj.push(("delta".into(), Json::UInt(delta))),
+            EventKind::Timing { ns, ops } => {
+                obj.push(("ns".into(), Json::UInt(ns)));
+                obj.push(("ops".into(), Json::UInt(ops)));
+            }
+            _ => {}
+        }
+        if include_wall {
+            if let Some(wall_ns) = self.wall_ns {
+                obj.push(("wall_ns".into(), Json::UInt(wall_ns)));
+            }
+        }
+        if !self.fields.is_empty() {
+            obj.push((
+                "fields".into(),
+                Json::Obj(
+                    self.fields
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), v.to_json()))
+                        .collect(),
+                ),
+            ));
+        }
+        Json::Obj(obj)
+    }
+
+    /// One byte-stable JSONL line (no trailing newline, no wall clock).
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        self.to_json(false).to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Event {
+        Event {
+            seq: 7,
+            kind: EventKind::Instant,
+            name: "crash".into(),
+            span: Some(3),
+            parent: Some(1),
+            sim_ms: Some(1234),
+            wall_ns: Some(999),
+            fields: vec![
+                ("v_mv".into(), Value::U64(540)),
+                ("run".into(), 2u32.into()),
+            ],
+        }
+    }
+
+    #[test]
+    fn jsonl_is_byte_stable_and_omits_wall_clock() {
+        let e = sample();
+        let line = e.to_jsonl();
+        assert_eq!(line, e.to_jsonl());
+        assert!(
+            !line.contains("wall_ns"),
+            "wall clock must stay out: {line}"
+        );
+        assert!(line.contains("\"sim_ms\":1234"));
+        assert!(line.contains("\"fields\":{\"v_mv\":540,\"run\":2}"));
+        // Opting in puts the annex back.
+        assert!(e.to_json(true).to_string().contains("\"wall_ns\":999"));
+    }
+
+    #[test]
+    fn kind_payloads_serialize() {
+        let mut e = sample();
+        e.kind = EventKind::Counter { delta: 5 };
+        assert!(e.to_jsonl().contains("\"delta\":5"));
+        e.kind = EventKind::Timing { ns: 10, ops: 3 };
+        let line = e.to_jsonl();
+        assert!(line.contains("\"ns\":10") && line.contains("\"ops\":3"));
+    }
+
+    #[test]
+    fn field_lookup_and_value_conversions() {
+        let e = sample();
+        assert_eq!(e.field("run").and_then(Value::as_u64), Some(2));
+        assert!(e.field("missing").is_none());
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert_eq!(Value::from(3usize).as_u64(), Some(3));
+        assert_eq!(Value::I64(4).as_u64(), Some(4));
+        assert_eq!(Value::I64(-4).as_u64(), None);
+    }
+}

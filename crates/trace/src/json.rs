@@ -1,10 +1,16 @@
-//! Minimal JSON (de)serialization for experiment records and checkpoints.
+//! Minimal JSON (de)serialization for records, checkpoints, trace events
+//! and run manifests.
 //!
 //! Hand-rolled because the build environment has no registry access (the
 //! DESIGN §7 `serde`/`serde_json` plan needs the network). Scope is exactly
-//! what the harness needs: a value tree, a writer with stable key order,
-//! and a strict recursive-descent parser. Integers keep full `u64`/`i64`
-//! precision (chip seeds do not survive an `f64` round-trip).
+//! what the experiment stack needs: a value tree, a writer with stable key
+//! order, and a strict recursive-descent parser. Integers keep full
+//! `u64`/`i64` precision (chip seeds do not survive an `f64` round-trip).
+//!
+//! Grew up in `uvf-characterize` (which still re-exports it as
+//! `uvf_characterize::json`); it lives here so the event log, the sweep
+//! records and the manifests all serialize with the same byte-stable
+//! conventions without a dependency cycle.
 
 use std::error::Error;
 use std::fmt;

@@ -1,0 +1,282 @@
+//! The run manifest: one small JSON document that makes a finished run
+//! auditable — which experiment, which config fingerprint, which
+//! platform/seed, where the event log lives, and where the wall time went.
+
+use crate::event::{Event, EventKind};
+use crate::json::{Json, JsonError};
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Wall time attributed to one top-level phase of a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseTime {
+    pub name: String,
+    pub wall_ns: u64,
+}
+
+/// Metadata describing one completed run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// Experiment name (e.g. `fig3`, `table2`).
+    pub name: String,
+    /// Fingerprint of the configuration that produced the run; two runs
+    /// with equal fingerprints are replaying the same experiment.
+    pub config_fingerprint: u64,
+    pub platform: String,
+    pub seed: u64,
+    /// Path of the JSONL event log, when one was written.
+    pub event_log: Option<String>,
+    /// Total events emitted during the run.
+    pub events: u64,
+    /// End-to-end wall time of the run.
+    pub wall_ns_total: u64,
+    /// Wall-time breakdown by top-level span, in completion order.
+    pub phases: Vec<PhaseTime>,
+    /// Final counter totals, by name.
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl Manifest {
+    /// Extract the phase breakdown from an event stream: every *root*
+    /// span's end event (no parent) becomes a phase, in completion order.
+    #[must_use]
+    pub fn phases_from_events(events: &[Event]) -> Vec<PhaseTime> {
+        events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::SpanEnd) && e.parent.is_none())
+            .filter_map(|e| {
+                e.wall_ns.map(|wall_ns| PhaseTime {
+                    name: e.name.to_string(),
+                    wall_ns,
+                })
+            })
+            .collect()
+    }
+
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut obj: Vec<(String, Json)> = vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            (
+                "config_fingerprint".into(),
+                Json::UInt(self.config_fingerprint),
+            ),
+            ("platform".into(), Json::Str(self.platform.clone())),
+            ("seed".into(), Json::UInt(self.seed)),
+        ];
+        if let Some(log) = &self.event_log {
+            obj.push(("event_log".into(), Json::Str(log.clone())));
+        }
+        obj.push(("events".into(), Json::UInt(self.events)));
+        obj.push(("wall_ns_total".into(), Json::UInt(self.wall_ns_total)));
+        obj.push((
+            "phases".into(),
+            Json::Arr(
+                self.phases
+                    .iter()
+                    .map(|p| {
+                        Json::Obj(vec![
+                            ("name".into(), Json::Str(p.name.clone())),
+                            ("wall_ns".into(), Json::UInt(p.wall_ns)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+        obj.push((
+            "counters".into(),
+            Json::Obj(
+                self.counters
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::UInt(*v)))
+                    .collect(),
+            ),
+        ));
+        Json::Obj(obj)
+    }
+
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string()
+    }
+
+    /// Parse a manifest previously produced by [`Manifest::to_json_string`].
+    pub fn parse(text: &str) -> Result<Manifest, JsonError> {
+        fn schema(msg: &str) -> JsonError {
+            JsonError {
+                msg: format!("manifest: {msg}"),
+                offset: 0,
+            }
+        }
+        let json = Json::parse(text)?;
+        if !matches!(json, Json::Obj(_)) {
+            return Err(schema("not an object"));
+        }
+        let get = |key: &str| {
+            json.get(key)
+                .ok_or_else(|| schema(&format!("missing {key}")))
+        };
+        let str_of = |j: &Json| {
+            j.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| schema("expected string"))
+        };
+        let uint_of = |j: &Json| j.as_u64().ok_or_else(|| schema("expected uint"));
+        let phases = get("phases")?
+            .as_arr()
+            .ok_or_else(|| schema("phases not an array"))?
+            .iter()
+            .map(|p| {
+                Ok(PhaseTime {
+                    name: str_of(p.get("name").ok_or_else(|| schema("phase missing name"))?)?,
+                    wall_ns: uint_of(
+                        p.get("wall_ns")
+                            .ok_or_else(|| schema("phase missing wall_ns"))?,
+                    )?,
+                })
+            })
+            .collect::<Result<Vec<_>, JsonError>>()?;
+        let counters = match get("counters")? {
+            Json::Obj(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), uint_of(v)?)))
+                .collect::<Result<BTreeMap<_, _>, JsonError>>()?,
+            _ => return Err(schema("counters not an object")),
+        };
+        Ok(Manifest {
+            name: str_of(get("name")?)?,
+            config_fingerprint: uint_of(get("config_fingerprint")?)?,
+            platform: str_of(get("platform")?)?,
+            seed: uint_of(get("seed")?)?,
+            event_log: json.get("event_log").map(&str_of).transpose()?,
+            events: uint_of(get("events")?)?,
+            wall_ns_total: uint_of(get("wall_ns_total")?)?,
+            phases,
+            counters,
+        })
+    }
+
+    /// Write the manifest atomically (temp file + rename), matching the
+    /// checkpoint-durability convention of the sweep stack.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        let tmp = path.with_extension("manifest.tmp");
+        {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(self.to_json_string().as_bytes())?;
+            file.write_all(b"\n")?;
+            file.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+
+    pub fn load(path: impl AsRef<Path>) -> std::io::Result<Manifest> {
+        let text = std::fs::read_to_string(path)?;
+        Manifest::parse(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{e:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    fn sample() -> Manifest {
+        Manifest {
+            name: "fig3".into(),
+            config_fingerprint: 0xDEAD_BEEF_1234,
+            platform: "KC705".into(),
+            seed: 42,
+            event_log: Some("out/fig3.jsonl".into()),
+            events: 128,
+            wall_ns_total: 9_000_000,
+            phases: vec![
+                PhaseTime {
+                    name: "sweep".into(),
+                    wall_ns: 7_000_000,
+                },
+                PhaseTime {
+                    name: "report".into(),
+                    wall_ns: 2_000_000,
+                },
+            ],
+            counters: BTreeMap::from([("runs".to_string(), 60), ("crashes".to_string(), 2)]),
+        }
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let m = sample();
+        let text = m.to_json_string();
+        assert_eq!(Manifest::parse(&text).unwrap(), m);
+        // And byte-stable on re-serialization.
+        assert_eq!(Manifest::parse(&text).unwrap().to_json_string(), text);
+    }
+
+    #[test]
+    fn optional_event_log_round_trips_when_absent() {
+        let mut m = sample();
+        m.event_log = None;
+        let text = m.to_json_string();
+        assert!(!text.contains("event_log"));
+        assert_eq!(Manifest::parse(&text).unwrap(), m);
+    }
+
+    #[test]
+    fn save_and_load_are_atomic_peers() {
+        let dir = std::env::temp_dir().join(format!("uvf-trace-manifest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run_manifest.json");
+        let m = sample();
+        m.save(&path).unwrap();
+        assert_eq!(Manifest::load(&path).unwrap(), m);
+        assert!(
+            !path.with_extension("manifest.tmp").exists(),
+            "temp cleaned up"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn phases_come_from_root_span_ends() {
+        let mk = |seq, kind, name: &'static str, parent, wall| Event {
+            seq,
+            kind,
+            name: name.into(),
+            span: Some(seq),
+            parent,
+            sim_ms: None,
+            wall_ns: wall,
+            fields: Vec::new(),
+        };
+        let events = vec![
+            mk(0, EventKind::SpanStart, "sweep", None, None),
+            mk(1, EventKind::SpanEnd, "inner", Some(0), Some(5)),
+            mk(2, EventKind::SpanEnd, "sweep", None, Some(100)),
+            mk(3, EventKind::SpanEnd, "report", None, Some(20)),
+        ];
+        let phases = Manifest::phases_from_events(&events);
+        assert_eq!(
+            phases,
+            vec![
+                PhaseTime {
+                    name: "sweep".into(),
+                    wall_ns: 100
+                },
+                PhaseTime {
+                    name: "report".into(),
+                    wall_ns: 20
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        assert!(Manifest::parse("[]").is_err());
+        assert!(Manifest::parse("{\"name\":\"x\"}").is_err());
+        assert!(Manifest::parse("not json").is_err());
+    }
+}

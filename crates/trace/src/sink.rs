@@ -1,0 +1,434 @@
+//! Event sinks: where trace events go.
+//!
+//! Three implementations cover the observability surface of the
+//! workspace:
+//!
+//! * [`JsonlSink`] — append-only structured event log. Serializes only the
+//!   deterministic core of each event (see [`crate::Event`]), so a traced
+//!   sweep produces a byte-identical log on every rerun.
+//! * [`PrometheusSink`] — in-memory aggregation of counters and latency
+//!   histograms, rendered as Prometheus text exposition on demand.
+//! * [`MemorySink`] — bounded ring buffer of recent events, for tests and
+//!   for the `repro` binary's live progress rendering.
+
+use crate::event::{Event, EventKind};
+use crate::histogram::{bucket_upper_ns, Histogram};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// A destination for trace events. Implementations must be `Send + Sync`;
+/// a [`crate::Tracer`] may be cloned across worker threads.
+pub trait Sink: Send + Sync {
+    fn record(&self, event: &Event);
+    /// Push buffered output to durable storage; default is a no-op.
+    fn flush(&self) {}
+}
+
+/// Byte-stable JSONL event log.
+///
+/// Skips [`EventKind::Timing`] events entirely and omits `wall_ns` from
+/// every line: wall-clock readings are the one nondeterministic input, so
+/// keeping them out is what makes the log reproducible byte for byte.
+pub struct JsonlSink {
+    path: PathBuf,
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Create (truncate) the log file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<JsonlSink> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::create(&path)?;
+        Ok(JsonlSink {
+            path,
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&self, event: &Event) {
+        if matches!(event.kind, EventKind::Timing { .. }) {
+            return;
+        }
+        let line = event.to_jsonl();
+        let mut writer = self.writer.lock().expect("jsonl sink poisoned");
+        // Log writes are best-effort: losing telemetry must never fail the
+        // experiment it observes.
+        let _ = writeln!(writer, "{line}");
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().expect("jsonl sink poisoned").flush();
+    }
+}
+
+/// Bounded in-memory ring buffer of events (oldest evicted first).
+pub struct MemorySink {
+    capacity: usize,
+    buf: Mutex<VecDeque<Event>>,
+    dropped: Mutex<u64>,
+}
+
+impl MemorySink {
+    #[must_use]
+    pub fn new(capacity: usize) -> MemorySink {
+        MemorySink {
+            capacity: capacity.max(1),
+            buf: Mutex::new(VecDeque::new()),
+            dropped: Mutex::new(0),
+        }
+    }
+
+    /// Snapshot of the buffered events, oldest first.
+    #[must_use]
+    pub fn events(&self) -> Vec<Event> {
+        self.buf
+            .lock()
+            .expect("memory sink poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// How many events were evicted to honour the capacity bound.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        *self.dropped.lock().expect("memory sink poisoned")
+    }
+
+    /// Remove and return all buffered events, oldest first.
+    #[must_use]
+    pub fn drain(&self) -> Vec<Event> {
+        self.buf
+            .lock()
+            .expect("memory sink poisoned")
+            .drain(..)
+            .collect()
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&self, event: &Event) {
+        let mut buf = self.buf.lock().expect("memory sink poisoned");
+        if buf.len() == self.capacity {
+            buf.pop_front();
+            *self.dropped.lock().expect("memory sink poisoned") += 1;
+        }
+        buf.push_back(event.clone());
+    }
+}
+
+#[derive(Default)]
+struct PromState {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// Aggregating metrics sink rendered as Prometheus text exposition.
+///
+/// [`EventKind::Counter`] deltas sum into counters; [`EventKind::SpanEnd`]
+/// durations and [`EventKind::Timing`] samples fold into fixed-bucket
+/// histograms keyed by event name. `BTreeMap` keys make the rendered
+/// snapshot's metric order deterministic.
+#[derive(Default)]
+pub struct PrometheusSink {
+    state: Mutex<PromState>,
+}
+
+impl PrometheusSink {
+    #[must_use]
+    pub fn new() -> PrometheusSink {
+        PrometheusSink::default()
+    }
+
+    /// Current counter totals, by event name.
+    #[must_use]
+    pub fn counters(&self) -> BTreeMap<String, u64> {
+        self.state
+            .lock()
+            .expect("prom sink poisoned")
+            .counters
+            .clone()
+    }
+
+    /// Snapshot of the named histogram, if any samples arrived.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.state
+            .lock()
+            .expect("prom sink poisoned")
+            .histograms
+            .get(name)
+            .cloned()
+    }
+
+    /// Render the Prometheus text exposition snapshot.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let state = self.state.lock().expect("prom sink poisoned");
+        let mut out = String::new();
+        for (name, total) in &state.counters {
+            let metric = sanitize_metric_name(&format!("uvf_{name}_total"));
+            let _ = writeln!(out, "# TYPE {metric} counter");
+            let _ = writeln!(out, "{metric} {total}");
+        }
+        for (name, hist) in &state.histograms {
+            let metric = sanitize_metric_name(&format!("uvf_{name}_duration_ns"));
+            let _ = writeln!(out, "# TYPE {metric} histogram");
+            let (cum, total) = hist.cumulative();
+            for (i, &c) in cum.iter().enumerate() {
+                let _ = writeln!(out, "{metric}_bucket{{le=\"{}\"}} {c}", bucket_upper_ns(i));
+            }
+            let _ = writeln!(out, "{metric}_bucket{{le=\"+Inf\"}} {total}");
+            let _ = writeln!(out, "{metric}_sum {}", hist.sum_ns());
+            let _ = writeln!(out, "{metric}_count {total}");
+        }
+        out
+    }
+}
+
+impl Sink for PrometheusSink {
+    fn record(&self, event: &Event) {
+        let mut state = self.state.lock().expect("prom sink poisoned");
+        match event.kind {
+            EventKind::Counter { delta } => {
+                *state.counters.entry(event.name.to_string()).or_insert(0) += delta;
+            }
+            EventKind::SpanEnd => {
+                if let Some(wall_ns) = event.wall_ns {
+                    state
+                        .histograms
+                        .entry(event.name.to_string())
+                        .or_default()
+                        .record(wall_ns);
+                }
+            }
+            EventKind::Timing { ns, .. } => {
+                state
+                    .histograms
+                    .entry(event.name.to_string())
+                    .or_default()
+                    .record(ns);
+            }
+            EventKind::SpanStart | EventKind::Instant => {}
+        }
+    }
+}
+
+/// Map an event name onto the Prometheus metric-name grammar
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`); anything else becomes `_`.
+#[must_use]
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_none_or(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Validate Prometheus text exposition: every non-comment line must be
+/// `<metric>{labels}? <integer>`, every metric must be declared by a
+/// preceding `# TYPE` line, and histogram bucket counts must be
+/// cumulative. Returns the number of sample lines on success.
+pub fn parse_exposition(text: &str) -> Result<usize, String> {
+    let mut declared: Vec<String> = Vec::new();
+    let mut samples = 0usize;
+    let mut last_bucket: Option<(String, u64)> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let metric = parts
+                .next()
+                .ok_or_else(|| format!("line {}: TYPE without metric", lineno + 1))?;
+            let kind = parts
+                .next()
+                .ok_or_else(|| format!("line {}: TYPE without kind", lineno + 1))?;
+            if !matches!(
+                kind,
+                "counter" | "histogram" | "gauge" | "summary" | "untyped"
+            ) {
+                return Err(format!("line {}: unknown TYPE kind {kind:?}", lineno + 1));
+            }
+            declared.push(metric.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let (name_part, value_part) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no value: {line:?}", lineno + 1))?;
+        let value: u64 = value_part
+            .parse()
+            .map_err(|_| format!("line {}: non-integer value {value_part:?}", lineno + 1))?;
+        let bare = name_part.split('{').next().unwrap_or(name_part);
+        if !is_valid_metric_name(bare) {
+            return Err(format!("line {}: bad metric name {bare:?}", lineno + 1));
+        }
+        if !declared.iter().any(|d| {
+            bare == d
+                || bare.strip_suffix("_bucket") == Some(d.as_str())
+                || bare.strip_suffix("_sum") == Some(d.as_str())
+                || bare.strip_suffix("_count") == Some(d.as_str())
+        }) {
+            return Err(format!(
+                "line {}: sample for undeclared metric {bare:?}",
+                lineno + 1
+            ));
+        }
+        if bare.ends_with("_bucket") {
+            if let Some((prev_metric, prev_count)) = &last_bucket {
+                if prev_metric == bare && value < *prev_count {
+                    return Err(format!(
+                        "line {}: non-cumulative bucket for {bare}: {value} < {prev_count}",
+                        lineno + 1
+                    ));
+                }
+            }
+            last_bucket = Some((bare.to_string(), value));
+        } else {
+            last_bucket = None;
+        }
+        samples += 1;
+    }
+    Ok(samples)
+}
+
+fn is_valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Value;
+    use crate::histogram::BUCKET_COUNT;
+    use crate::tracer::Tracer;
+    use std::sync::Arc;
+
+    #[test]
+    fn jsonl_sink_skips_timings_and_is_byte_stable() {
+        let dir = std::env::temp_dir().join(format!("uvf-trace-jsonl-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let write_log = |name: &str| -> String {
+            let path = dir.join(name);
+            let sink = Arc::new(JsonlSink::create(&path).unwrap());
+            let t = Tracer::builder().sink(sink).build();
+            {
+                let mut s = t.span("sweep");
+                s.field("levels", Value::U64(3));
+                t.instant_at(120, "crash", vec![("v_mv", 540u64.into())]);
+                t.counter("runs", 2);
+                t.timing("kernel", 987, 64); // must NOT appear in the log
+            }
+            t.flush();
+            std::fs::read_to_string(&path).unwrap()
+        };
+        let a = write_log("a.jsonl");
+        let b = write_log("b.jsonl");
+        assert_eq!(a, b, "two identical traced runs produce identical logs");
+        assert!(!a.contains("wall_ns"));
+        assert!(!a.contains("\"kind\":\"timing\""));
+        assert!(a.contains("\"kind\":\"span_end\""));
+        assert!(a.contains("\"sim_ms\":120"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn memory_sink_ring_evicts_oldest() {
+        let mem = MemorySink::new(2);
+        let ev = |seq: u64| Event {
+            seq,
+            kind: EventKind::Instant,
+            name: "e".into(),
+            span: None,
+            parent: None,
+            sim_ms: None,
+            wall_ns: None,
+            fields: Vec::new(),
+        };
+        mem.record(&ev(0));
+        mem.record(&ev(1));
+        mem.record(&ev(2));
+        let events = mem.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 1);
+        assert_eq!(mem.dropped(), 1);
+        assert_eq!(mem.drain().len(), 2);
+        assert!(mem.events().is_empty());
+    }
+
+    #[test]
+    fn prometheus_sink_renders_and_validates() {
+        let prom = Arc::new(PrometheusSink::new());
+        let t = Tracer::builder().sink(prom.clone()).build();
+        t.counter("power_cycles", 2);
+        t.counter("power_cycles", 1);
+        t.timing("corrupt_word", 450, 1024);
+        {
+            let _s = t.span("sweep_level");
+        }
+        let text = prom.render();
+        assert!(text.contains("uvf_power_cycles_total 3"));
+        assert!(text.contains("# TYPE uvf_corrupt_word_duration_ns histogram"));
+        assert!(text.contains("uvf_sweep_level_duration_ns_count 1"));
+        let samples = parse_exposition(&text).expect("exposition parses");
+        // 1 counter + 2 histograms × (BUCKET_COUNT finite + Inf + sum + count)
+        assert_eq!(samples, 1 + 2 * (BUCKET_COUNT + 3));
+        assert_eq!(prom.counters().get("power_cycles"), Some(&3));
+        assert_eq!(prom.histogram("corrupt_word").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn exposition_validator_rejects_malformed_text() {
+        assert!(parse_exposition("no_type_decl 1").is_err());
+        assert!(parse_exposition("# TYPE m counter\nm not_a_number").is_err());
+        assert!(parse_exposition("# TYPE m counter\n9bad 1").is_err());
+        assert!(parse_exposition("# TYPE m wat\nm 1").is_err());
+        let noncum = "# TYPE m histogram\nm_bucket{le=\"128\"} 5\nm_bucket{le=\"256\"} 3\n";
+        assert!(parse_exposition(noncum)
+            .unwrap_err()
+            .contains("non-cumulative"));
+        assert_eq!(parse_exposition("").unwrap(), 0);
+        assert_eq!(parse_exposition("# just a comment\n").unwrap(), 0);
+    }
+
+    #[test]
+    fn metric_names_are_sanitized() {
+        assert_eq!(sanitize_metric_name("uvf_ok_name"), "uvf_ok_name");
+        assert_eq!(
+            sanitize_metric_name("has space-and.dots"),
+            "has_space_and_dots"
+        );
+        assert_eq!(sanitize_metric_name("1starts_digit"), "_1starts_digit");
+        assert_eq!(sanitize_metric_name(""), "_");
+    }
+}
