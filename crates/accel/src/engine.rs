@@ -269,6 +269,48 @@ mod scratch {
     use uvf_faults::ReadCondition;
     use uvf_fpga::{BramId, Platform, PlatformKind, Rail, DEFAULT_TEMPERATURE_C};
 
+    /// Always-on version of [`probe_last_layer_weakness`]: only the chip
+    /// the Fig. 13/14 tests pin (seed 21), gating the property the full
+    /// scan exists to find — the output layer's BRAM window (1456-1457
+    /// under contiguous placement) holds weak cells that actually flip at
+    /// `Vcrash` on a cold die.
+    #[test]
+    fn pinned_chip_output_window_is_weak_at_vcrash() {
+        let platform = Platform::new(PlatformKind::Vc707);
+        let model = FaultModel::with_chip_seed(platform, 21);
+        let cond = model.resolve(&ReadCondition {
+            v: platform.rail(Rail::Vccbram).vcrash,
+            temperature_c: 0.0,
+            run_seed: 1,
+        });
+        let mut weak_total = 0usize;
+        let mut flips_total = 0u32;
+        for b in [1456u32, 1457] {
+            weak_total += model.weak_cells(BramId(b)).len();
+            flips_total += model.fault_mask(BramId(b), &cond).flip_cells();
+        }
+        println!("chip=21 weak={weak_total} flips_at_vcrash={flips_total}");
+        assert!(
+            weak_total > 0,
+            "chip 21's output window lost its weak cells"
+        );
+        assert!(
+            flips_total > 0,
+            "no flips at Vcrash in BRAMs 1456-1457; the Fig. 13 story needs them",
+        );
+        // A well-above-Vmin read of the same window stays clean.
+        let safe = model.resolve(&ReadCondition {
+            v: platform.rail(Rail::Vccbram).nominal,
+            temperature_c: DEFAULT_TEMPERATURE_C,
+            run_seed: 1,
+        });
+        let safe_flips: u32 = [1456u32, 1457]
+            .iter()
+            .map(|&b| model.fault_mask(BramId(b), &safe).flip_cells())
+            .sum();
+        assert_eq!(safe_flips, 0, "nominal voltage must not flip weights");
+    }
+
     #[test]
     #[ignore]
     fn probe_last_layer_weakness() {

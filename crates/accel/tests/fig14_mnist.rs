@@ -207,6 +207,41 @@ fn calibrate_seed_chip_run() {
     }
 }
 
+/// Always-on companion to [`calibrate_seed_chip_run`]: the pinned
+/// (`NET_SEED`, `CHIP_SEED`, `EVAL_RUN_SEED`) triple must still pass the
+/// exact CANDIDATE filter the calibration scan applies, so a dataset /
+/// trainer / fault-model change that silently invalidates the constants
+/// fails here instead of in the landmark assertions downstream.
+#[test]
+fn pinned_constants_pass_the_calibration_filter() {
+    let fx = fixture();
+    let r = run_pass(fx);
+    assert!(
+        r.nominal <= 0.0256 + 0.006,
+        "nominal {} fails the calibration filter; re-run calibrate_seed_chip_run",
+        r.nominal
+    );
+    assert!(
+        r.degraded >= r.nominal + 0.0048,
+        "degraded {} vs nominal {} fails the calibration filter",
+        r.degraded,
+        r.nominal
+    );
+    // The scan prefers candidates whose per-layer maximum is unique
+    // (dominant_layer() resolves ties toward the lowest index).
+    let max = r
+        .per_layer
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
+    let at_max = r.per_layer.iter().filter(|&&e| e == max).count();
+    assert_eq!(
+        at_max, 1,
+        "per-layer maximum is tied ({:?}); dominant layer is ambiguous",
+        r.per_layer
+    );
+}
+
 #[test]
 fn fig14_shape_on_vc707() {
     let fx = fixture();

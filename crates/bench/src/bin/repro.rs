@@ -16,9 +16,10 @@
 //! trace events — the renderer is just another [`Sink`].
 //!
 //! Usage: `repro [--quick] [--check] [--threads N] [--out DIR] <cmd>...`
-//! where `<cmd>` is `table1 | fig1 | fig3 | fig4 | table2 | fig13 | fig14
-//! | all`. `--check` validates the artifacts after each run (exposition
-//! parses, manifest round-trips, every JSONL line is well-formed JSON).
+//! where `<cmd>` is `table1 | fig1 | fig3 | fig4 | fig5 | table2 | fig8 |
+//! fig13 | fig14 | all`. `--check` validates the artifacts after each run
+//! (exposition parses, manifest round-trips, every JSONL line is
+//! well-formed JSON).
 
 #![deny(deprecated)]
 
@@ -30,7 +31,8 @@ use std::time::Instant;
 
 use uvf_accel::{layer_vulnerability_traced, LayerFaults, MappedNetwork, Placement};
 use uvf_characterize::prelude::{
-    available_threads, Campaign, CampaignEntry, CampaignJob, Probe, RecoveryPolicy, SweepConfig,
+    available_threads, cluster_brams, cluster_brams_traced, Campaign, CampaignEntry, CampaignJob,
+    LocationStats, Probe, RecoveryPolicy, SweepConfig, ThermalCampaign, LOCATION_ALPHA,
 };
 use uvf_faults::{FaultModel, ReadCondition, ResolvedCondition};
 use uvf_fpga::{Board, DataPattern, Millivolts, Platform, PlatformKind, Rail};
@@ -49,7 +51,9 @@ const CHIP_SEED: u64 = 21;
 const EVAL_TEMPERATURE_C: f64 = 0.0;
 const EVAL_RUN_SEED: u64 = 1;
 
-const COMMANDS: [&str; 7] = ["table1", "fig1", "fig3", "fig4", "table2", "fig13", "fig14"];
+const COMMANDS: [&str; 9] = [
+    "table1", "fig1", "fig3", "fig4", "fig5", "table2", "fig8", "fig13", "fig14",
+];
 
 struct Args {
     quick: bool,
@@ -141,6 +145,18 @@ fn f_str<'a>(e: &'a Event, key: &str) -> &'a str {
     e.field(key).and_then(Value::as_str).unwrap_or("?")
 }
 
+fn f_f64(e: &Event, key: &str) -> f64 {
+    match e.field(key) {
+        Some(Value::F64(v)) => *v,
+        Some(v) => v.as_u64().map_or(0.0, |u| u as f64),
+        None => 0.0,
+    }
+}
+
+fn f_bool(e: &Event, key: &str) -> bool {
+    matches!(e.field(key), Some(Value::Bool(true)))
+}
+
 impl Sink for ProgressSink {
     fn record(&self, e: &Event) {
         self.total.fetch_add(1, Ordering::Relaxed);
@@ -192,6 +208,53 @@ impl Sink for ProgressSink {
                 f_u64(e, "job"),
                 f_str(e, "platform"),
                 f_str(e, "error"),
+            ),
+            "kmeans_done" => println!(
+                "[{p}] {} clusters: k={} silhouette={:.3} least-faulty share {:.3}",
+                f_str(e, "platform"),
+                f_u64(e, "k"),
+                f_f64(e, "silhouette"),
+                f_f64(e, "least_faulty_share"),
+            ),
+            "chi2_done" => println!(
+                "[{p}] χ² {}: statistic {:.1} (df {}), p = {:.3e}{}",
+                f_str(e, "scope"),
+                f_f64(e, "statistic"),
+                f_u64(e, "df"),
+                f_f64(e, "p_value"),
+                if f_bool(e, "rejected") {
+                    " — rejects uniformity"
+                } else {
+                    ""
+                },
+            ),
+            "thermal_point" => println!(
+                "[{p}] {:>5.1} °C: median {:.0} faults",
+                f_f64(e, "temperature_c"),
+                f_f64(e, "median_faults"),
+            ),
+            "thermal_fit" => println!(
+                "[{p}] {} fit: slope {:.2} faults/°C (r² {:.3}, log slope {:.4})",
+                f_str(e, "platform"),
+                f_f64(e, "slope"),
+                f_f64(e, "r2"),
+                f_f64(e, "log_slope"),
+            ),
+            "vmin_probe" => println!(
+                "[{p}] probe {:>4} mV: {} faults{}",
+                f_u64(e, "v_mv"),
+                f_u64(e, "faults"),
+                if f_bool(e, "crashed") {
+                    "  CRASHED"
+                } else {
+                    ""
+                },
+            ),
+            "vmin_found" => println!(
+                "[{p}] vmin = {} mV in {}/{} probes",
+                f_u64(e, "vmin_mv"),
+                f_u64(e, "probes"),
+                f_u64(e, "levels_total"),
             ),
             _ => {}
         }
@@ -427,6 +490,127 @@ fn run_fig4(ctx: &mut Ctx, tracer: &Tracer) -> Result<CmdSummary, String> {
     })
 }
 
+/// Fig. 5 (plus Figs. 6–7): per-BRAM vulnerability clusters and the
+/// location χ² battery at `Vcrash`.
+fn run_fig5(_ctx: &mut Ctx, tracer: &Tracer) -> Result<CmdSummary, String> {
+    // Same knobs as `stats_landmarks.rs` pins: up to 6 classes, seed 5.
+    const MAX_K: usize = 6;
+    const CLUSTER_SEED: u64 = 5;
+    println!("Fig. 5 — BRAM vulnerability clusters at Vcrash (k-means, silhouette-selected k)");
+    let mut text = format!("fig5:max_k={MAX_K}:seed={CLUSTER_SEED}");
+    for kind in PlatformKind::ALL {
+        let platform = kind.descriptor();
+        let vcrash = platform.vccbram.vcrash;
+        let model = FaultModel::new(platform);
+        let mut span = tracer.span_with(
+            "cluster_analysis",
+            vec![("platform", kind.to_string().into())],
+        );
+        let map = model.variation_map(vcrash);
+        let clusters = cluster_brams_traced(&map, MAX_K, CLUSTER_SEED, tracer)
+            .ok_or_else(|| format!("{kind}: census too small to cluster"))?;
+        let rerun = cluster_brams(&map, MAX_K, CLUSTER_SEED)
+            .ok_or_else(|| format!("{kind}: census too small to cluster"))?;
+        if rerun != clusters {
+            return Err(format!("{kind}: cluster assignments drifted across reruns"));
+        }
+        println!(
+            "  {:<8} k={} silhouette={:.3} sizes={:?}",
+            kind.to_string(),
+            clusters.k,
+            clusters.silhouette,
+            clusters.sizes,
+        );
+        for (c, (size, centroid)) in clusters
+            .sizes
+            .iter()
+            .zip(clusters.centroids.iter())
+            .enumerate()
+        {
+            println!("    class {c}: {size:>5} BRAMs @ {centroid:>10.2} faults/Mbit");
+        }
+
+        let stats = LocationStats::census(&model, vcrash);
+        stats.emit_events(tracer);
+        let bram = stats.bram_uniformity().ok_or("empty census")?;
+        let col = stats.grid_column_uniformity().ok_or("empty census")?;
+        let row = stats.grid_row_uniformity().ok_or("empty census")?;
+        let cell_row = stats.cell_row_uniformity().ok_or("empty census")?;
+        let cell_bit = stats.cell_bit_uniformity().ok_or("empty census")?;
+        println!(
+            "    location χ²: bram p={:.2e}, die-col p={:.2e}, die-row p={:.2e} (α = {LOCATION_ALPHA})",
+            bram.p_value, col.p_value, row.p_value,
+        );
+        println!(
+            "    within-BRAM χ²: word-row p={:.3}, bit p={:.3} (structureless)",
+            cell_row.p_value, cell_bit.p_value,
+        );
+        if !(bram.rejects_at(LOCATION_ALPHA)
+            && col.rejects_at(LOCATION_ALPHA)
+            && row.rejects_at(LOCATION_ALPHA))
+        {
+            return Err(format!("{kind}: location uniformity not rejected"));
+        }
+        span.field("k", clusters.k.into());
+        text.push_str(&format!(
+            ";{kind}:k={}:sizes={:?}:chi2={:.6}/{:.6}/{:.6}",
+            clusters.k, clusters.sizes, bram.statistic, col.statistic, row.statistic,
+        ));
+    }
+    Ok(CmdSummary {
+        platform: "all".into(),
+        seed: CLUSTER_SEED,
+        fingerprint: fnv1a(text.as_bytes()),
+    })
+}
+
+/// Fig. 8: fault rate vs die temperature at `Vcrash` (ITD regression).
+fn run_fig8(ctx: &mut Ctx, tracer: &Tracer) -> Result<CmdSummary, String> {
+    let kinds: &[PlatformKind] = if ctx.quick {
+        &[PlatformKind::Zc702]
+    } else {
+        &PlatformKind::ALL
+    };
+    let runs = if ctx.quick { 3 } else { 10 };
+    println!("Fig. 8 — fault rate vs temperature at Vcrash ({runs} runs/point)");
+    let mut text = format!("fig8:runs={runs}");
+    for &kind in kinds {
+        let mut campaign = ThermalCampaign::new(kind);
+        campaign.runs_per_point = runs;
+        campaign.threads = ctx.threads;
+        let report = campaign
+            .run(tracer)
+            .map_err(|e| format!("{kind}: thermal campaign failed: {e:?}"))?;
+        println!("  {:<8} @ {} mV:", kind.to_string(), report.v_mv);
+        for point in &report.points {
+            println!(
+                "    {:>5.1} °C  median {:>12.0} faults",
+                point.temperature_c, point.median_faults,
+            );
+        }
+        let log_slope = report.log_fit.map_or(f64::NAN, |f| f.slope);
+        println!(
+            "    slope {:.2} faults/°C (r² {:.3}); log-linear slope {:.4}",
+            report.rate_fit.slope, report.rate_fit.r2, log_slope,
+        );
+        if report.rate_fit.slope >= 0.0 {
+            return Err(format!(
+                "{kind}: expected inverse thermal dependence, slope = {}",
+                report.rate_fit.slope,
+            ));
+        }
+        text.push_str(&format!(
+            ";{kind}:slope={:.6}:r2={:.6}",
+            report.rate_fit.slope, report.rate_fit.r2,
+        ));
+    }
+    Ok(CmdSummary {
+        platform: if ctx.quick { "zc702" } else { "all" }.into(),
+        seed: 0,
+        fingerprint: fnv1a(text.as_bytes()),
+    })
+}
+
 /// Table II: fault-count stability over repeated runs at `Vcrash`.
 fn run_table2(ctx: &mut Ctx, tracer: &Tracer) -> Result<CmdSummary, String> {
     let kinds: &[PlatformKind] = if ctx.quick {
@@ -616,7 +800,9 @@ fn run_command(cmd: &str, ctx: &mut Ctx) -> Result<(), String> {
         "fig1" => run_fig1(ctx, &tracer),
         "fig3" => run_fig3(ctx, &tracer),
         "fig4" => run_fig4(ctx, &tracer),
+        "fig5" => run_fig5(ctx, &tracer),
         "table2" => run_table2(ctx, &tracer),
+        "fig8" => run_fig8(ctx, &tracer),
         "fig13" => run_fig13(ctx, &tracer),
         "fig14" => run_fig14(ctx, &tracer),
         other => Err(format!("unknown command {other}")),

@@ -13,7 +13,11 @@
 //!   checkpointed resume (the crash-resilience core),
 //! * [`campaign`] — multi-board runner: one harness per die on a
 //!   work-stealing queue with a shared checkpoint directory,
-//! * [`guardband`] — `Vmin`/`Vcrash` discovery reports over the harness.
+//! * [`guardband`] — `Vmin`/`Vcrash` discovery reports over the harness,
+//! * [`stats`] — the Fig. 5–8 statistical analyses (location χ², k-means
+//!   vulnerability clusters, thermal regression) over `uvf-stats`,
+//! * [`search`] — `Vmin` binary search: O(log levels) single-level
+//!   harness probes that bracket the exhaustive sweep's boundary.
 //!
 //! The central invariant: a sweep interrupted anywhere — board hang, run
 //! budget, process death — resumes from its checkpoint and produces a
@@ -28,6 +32,8 @@ pub mod guardband;
 pub mod harness;
 pub mod parallel;
 pub mod record;
+pub mod search;
+pub mod stats;
 pub mod sweep;
 
 /// Byte-stable JSON (de)serialization. The module moved to [`uvf_trace`]
@@ -43,6 +49,11 @@ pub use parallel::available_threads;
 pub use record::{
     Checkpoint, CrashEvent, FvmRecord, LevelRecord, RecordError, RunRecord, SweepOutcome,
     SweepRecord, RECORD_VERSION,
+};
+pub use search::{VminProbe, VminSearch, VminSearchReport};
+pub use stats::{
+    bram_rates_per_mbit, cluster_brams, cluster_brams_traced, BramClusters, LocationStats,
+    ThermalCampaign, ThermalPoint, ThermalReport, LOCATION_ALPHA,
 };
 pub use sweep::{Probe, SweepConfig, SweepConfigBuilder};
 pub use uvf_trace::{Tracer, TracerBuilder};
@@ -65,6 +76,11 @@ pub mod prelude {
     pub use crate::json::Json;
     pub use crate::parallel::available_threads;
     pub use crate::record::{Checkpoint, FvmRecord, LevelRecord, SweepOutcome, SweepRecord};
+    pub use crate::search::{VminProbe, VminSearch, VminSearchReport};
+    pub use crate::stats::{
+        bram_rates_per_mbit, cluster_brams, cluster_brams_traced, BramClusters, LocationStats,
+        ThermalCampaign, ThermalPoint, ThermalReport, LOCATION_ALPHA,
+    };
     pub use crate::sweep::{Probe, SweepConfig, SweepConfigBuilder};
     pub use uvf_trace::{Tracer, TracerBuilder};
 }

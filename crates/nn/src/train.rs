@@ -241,6 +241,40 @@ mod scratch {
     use crate::mlp::{Mlp, MNIST_LAYOUT};
     use crate::quantized::QNetwork;
 
+    /// Always-on version of [`scan_mnist_seeds`]: one pinned seed on a
+    /// narrowed MNIST layout, gating the invariant the full scan exists
+    /// to explore — training converges well below chance and the Q8.8
+    /// round-trip through [`QNetwork`] costs almost no accuracy.
+    #[test]
+    fn mnist_seed_converges_and_quantizes_at_reduced_scale() {
+        let seed = 7u64;
+        let data = DatasetKind::MnistLike.generate(seed);
+        let mut net = Mlp::new(&[784, 64, 10], seed);
+        let cfg = TrainConfig {
+            epochs: 6,
+            learning_rate: 0.02,
+            momentum: 0.5,
+            lr_decay: 0.8,
+            shuffle_seed: seed,
+        };
+        train(&mut net, &data.train, &cfg);
+        let test = net.error_on(&data.test);
+        let q = QNetwork::from_mlp(&net);
+        let qtest = q.to_mlp().error_on(&data.test);
+        println!(
+            "seed={seed} test={test:.4} qtest={qtest:.4} zbits={:.3}",
+            q.zero_bit_share()
+        );
+        // Chance on the 10-class MNIST-like split is ~90 % error.
+        assert!(test < 0.15, "test error {test} is far from converged");
+        assert!(
+            (qtest - test).abs() <= 0.02,
+            "quantization moved error {test} -> {qtest}",
+        );
+        let z = q.zero_bit_share();
+        assert!(z > 0.0 && z < 1.0, "degenerate zero-bit share {z}");
+    }
+
     #[test]
     #[ignore]
     fn scan_mnist_seeds() {

@@ -1,0 +1,263 @@
+//! Pearson χ² goodness-of-fit with a real p-value.
+//!
+//! The paper's Figs. 6–7 claim fault locations are *not* uniform across
+//! the die; turning that claim into a gate needs the χ² statistic *and*
+//! its tail probability. The p-value is the regularized upper incomplete
+//! gamma function `Q(df/2, χ²/2)`, computed the classic way: Lanczos
+//! log-gamma, the series expansion of `P(a, x)` for `x < a + 1` and the
+//! Lentz continued fraction for `Q(a, x)` above it.
+
+/// Result of one goodness-of-fit test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Chi2 {
+    /// Pearson statistic `Σ (observed − expected)² / expected`.
+    pub statistic: f64,
+    /// Degrees of freedom (`bins − 1`).
+    pub df: usize,
+    /// Right-tail probability of the statistic under H₀.
+    pub p_value: f64,
+}
+
+impl Chi2 {
+    /// Does the test reject the null hypothesis at significance `alpha`?
+    #[must_use]
+    pub fn rejects_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// χ² test of `observed` against the uniform distribution over its bins.
+/// `None` with fewer than two bins or an all-zero histogram.
+#[must_use]
+pub fn chi2_uniform(observed: &[u64]) -> Option<Chi2> {
+    let expected = vec![1.0; observed.len()];
+    chi2_gof(observed, &expected)
+}
+
+/// χ² test of `observed` against `expected` bin weights. The weights are
+/// relative — they are rescaled so their sum matches the observed total —
+/// which is what lets callers pass raw site counts per die column as the
+/// null model. `None` on length mismatch, fewer than two bins, an
+/// all-zero histogram, or a non-positive weight.
+#[must_use]
+pub fn chi2_gof(observed: &[u64], expected: &[f64]) -> Option<Chi2> {
+    if observed.len() != expected.len() || observed.len() < 2 {
+        return None;
+    }
+    // NaN weights fall to the `is_finite` arm.
+    if expected.iter().any(|&e| e <= 0.0 || !e.is_finite()) {
+        return None;
+    }
+    let total = observed.iter().sum::<u64>() as f64;
+    if total == 0.0 {
+        return None;
+    }
+    let weight_sum: f64 = expected.iter().sum();
+    let mut statistic = 0.0;
+    for (&o, &w) in observed.iter().zip(expected) {
+        let e = total * w / weight_sum;
+        let d = o as f64 - e;
+        statistic += d * d / e;
+    }
+    let df = observed.len() - 1;
+    Some(Chi2 {
+        statistic,
+        df,
+        p_value: gamma_q(df as f64 / 2.0, statistic / 2.0),
+    })
+}
+
+/// Natural log of the gamma function for `x > 0` (Lanczos, g = 7).
+#[must_use]
+pub fn ln_gamma(x: f64) -> f64 {
+    // The published Lanczos(g = 7) coefficients, kept digit-for-digit.
+    #[allow(clippy::excessive_precision)]
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_59,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection keeps the function total on (0, ∞).
+        return std::f64::consts::PI.ln()
+            - (std::f64::consts::PI * x).sin().ln()
+            - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEFFS[0];
+    let t = x + 7.5;
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularized upper incomplete gamma `Q(a, x) = Γ(a, x)/Γ(a)` for
+/// `a > 0`; the χ² right-tail probability is `Q(df/2, x/2)`.
+#[must_use]
+pub fn gamma_q(a: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - gamma_p_series(a, x)
+    } else {
+        gamma_q_cf(a, x)
+    }
+}
+
+const EPS: f64 = 1e-15;
+const TINY: f64 = 1e-300;
+const MAX_TERMS: usize = 500;
+
+/// Series for the lower regularized gamma, valid for `x < a + 1`.
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    let mut term = 1.0 / a;
+    let mut sum = term;
+    let mut ap = a;
+    for _ in 0..MAX_TERMS {
+        ap += 1.0;
+        term *= x / ap;
+        sum += term;
+        if term.abs() < sum.abs() * EPS {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Modified Lentz continued fraction for the upper regularized gamma,
+/// valid for `x >= a + 1`.
+fn gamma_q_cf(a: f64, x: f64) -> f64 {
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / TINY;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..=MAX_TERMS {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = b + an / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    (-x + a * x.ln() - ln_gamma(a)).exp() * h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_closed_forms() {
+        assert!((ln_gamma(1.0)).abs() < 1e-12);
+        assert!((ln_gamma(2.0)).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn chi2_df2_tail_is_exactly_exponential() {
+        // For df = 2, Q(1, x/2) = e^{-x/2} in closed form.
+        for &x in &[0.5, 2.0, 5.991, 13.0] {
+            let p = gamma_q(1.0, x / 2.0);
+            assert!((p - (-x / 2.0f64).exp()).abs() < 1e-12, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn critical_value_landmarks() {
+        // Textbook χ² critical values at α = 0.05 and 0.01.
+        let cases = [
+            (1, 3.841, 0.05),
+            (2, 5.991, 0.05),
+            (5, 11.070, 0.05),
+            (10, 18.307, 0.05),
+            (5, 15.086, 0.01),
+        ];
+        for (df, stat, alpha) in cases {
+            let p = gamma_q(f64::from(df) / 2.0, stat / 2.0);
+            assert!((p - alpha).abs() < 5e-4, "df {df} stat {stat}: p = {p}");
+        }
+    }
+
+    #[test]
+    fn series_and_continued_fraction_agree_at_the_crossover() {
+        for df in [1usize, 3, 8, 50] {
+            let a = df as f64 / 2.0;
+            let x = a + 1.0;
+            let below = 1.0 - gamma_p_series(a, x - 1e-9);
+            let above = gamma_q_cf(a, x + 1e-9);
+            assert!((below - above).abs() < 1e-8, "df {df}: {below} vs {above}");
+        }
+    }
+
+    #[test]
+    fn uniform_histogram_statistic_is_zero() {
+        let got = chi2_uniform(&[25, 25, 25, 25]).unwrap();
+        assert_eq!(got.statistic, 0.0);
+        assert_eq!(got.df, 3);
+        assert_eq!(got.p_value, 1.0);
+        assert!(!got.rejects_at(0.05));
+    }
+
+    #[test]
+    fn hand_computed_two_bin_fixture() {
+        // observed [10, 20], expected 15 each: χ² = 2·25/15 = 10/3.
+        let got = chi2_uniform(&[10, 20]).unwrap();
+        assert!((got.statistic - 10.0 / 3.0).abs() < 1e-12);
+        assert_eq!(got.df, 1);
+        assert!(
+            got.p_value > 0.05 && got.p_value < 0.10,
+            "p = {}",
+            got.p_value
+        );
+    }
+
+    #[test]
+    fn weighted_expectation_rescales() {
+        // Observed exactly proportional to the weights ⇒ statistic 0.
+        let got = chi2_gof(&[10, 30], &[0.25, 0.75]).unwrap();
+        assert_eq!(got.statistic, 0.0);
+    }
+
+    #[test]
+    fn gross_nonuniformity_rejects_hard() {
+        let got = chi2_uniform(&[1000, 0, 0, 0]).unwrap();
+        assert!(got.rejects_at(0.01));
+        assert!(got.p_value < 1e-100, "p = {}", got.p_value);
+    }
+
+    #[test]
+    fn invalid_inputs_are_refused() {
+        assert!(chi2_uniform(&[5]).is_none());
+        assert!(chi2_uniform(&[0, 0, 0]).is_none());
+        assert!(chi2_gof(&[1, 2], &[1.0]).is_none());
+        assert!(chi2_gof(&[1, 2], &[1.0, 0.0]).is_none());
+        assert!(chi2_gof(&[1, 2], &[1.0, -3.0]).is_none());
+    }
+
+    #[test]
+    fn p_values_are_bit_identical_across_reruns() {
+        let a = chi2_uniform(&[3, 14, 15, 92, 65, 35]).unwrap();
+        let b = chi2_uniform(&[3, 14, 15, 92, 65, 35]).unwrap();
+        assert_eq!(a.statistic.to_bits(), b.statistic.to_bits());
+        assert_eq!(a.p_value.to_bits(), b.p_value.to_bits());
+    }
+}

@@ -1,0 +1,140 @@
+//! Ordinary least squares over `(x, y)` pairs.
+//!
+//! One estimator, used for Fig. 8: regress fault rate against die
+//! temperature and pin the sign (and rough magnitude) of the slope. Kept
+//! general — the campaign code also fits log-rates, where the inverse
+//! thermal dependence `rate ∝ exp(−k·T)` becomes exactly linear.
+
+use crate::describe::mean;
+
+/// A fitted line `y = slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinFit {
+    pub slope: f64,
+    pub intercept: f64,
+    /// Coefficient of determination; `1.0` when the residuals vanish
+    /// (including the degenerate all-`y`-equal case).
+    pub r2: f64,
+    /// Standard error of the slope (`0` when `n <= 2`).
+    pub slope_stderr: f64,
+    pub n: usize,
+}
+
+/// Least-squares fit. `None` on length mismatch, fewer than two points,
+/// or zero variance in `x` (vertical line).
+#[must_use]
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LinFit> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len();
+    let x_bar = mean(xs);
+    let y_bar = mean(ys);
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxx += (x - x_bar) * (x - x_bar);
+        sxy += (x - x_bar) * (y - y_bar);
+    }
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = y_bar - slope * x_bar;
+    let mut ss_res = 0.0;
+    let mut ss_tot = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let r = y - (slope * x + intercept);
+        ss_res += r * r;
+        ss_tot += (y - y_bar) * (y - y_bar);
+    }
+    let r2 = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
+    let slope_stderr = if n > 2 {
+        (ss_res / (n - 2) as f64 / sxx).sqrt()
+    } else {
+        0.0
+    };
+    Some(LinFit {
+        slope,
+        intercept,
+        r2,
+        slope_stderr,
+        n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_is_recovered() {
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        let fit = linear_fit(&xs, &ys).unwrap();
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.intercept - 1.0).abs() < 1e-12);
+        assert!((fit.r2 - 1.0).abs() < 1e-12);
+        assert!(fit.slope_stderr < 1e-9);
+    }
+
+    #[test]
+    fn hand_computed_scatter_fixture() {
+        // xs = 1..4, ys = [2,4,5,8]: Sxx = 5, Sxy = 9.5 ⇒ slope 1.9,
+        // intercept 0, SSres = 0.7, SStot = 18.75 ⇒ r² = 1 − 0.7/18.75.
+        let fit = linear_fit(&[1.0, 2.0, 3.0, 4.0], &[2.0, 4.0, 5.0, 8.0]).unwrap();
+        assert!((fit.slope - 1.9).abs() < 1e-12);
+        assert!(fit.intercept.abs() < 1e-12);
+        assert!((fit.r2 - (1.0 - 0.7 / 18.75)).abs() < 1e-12);
+        assert!((fit.slope_stderr - (0.7 / 2.0 / 5.0f64).sqrt()).abs() < 1e-12);
+        assert_eq!(fit.n, 4);
+    }
+
+    #[test]
+    fn negative_slopes_come_out_negative() {
+        let xs = [0.0, 25.0, 50.0, 80.0];
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x: &f64| (-0.04 * x).exp() * 1000.0)
+            .collect();
+        let fit = linear_fit(&xs, &ys).unwrap();
+        assert!(fit.slope < 0.0);
+        // Log-space is exactly linear for the exponential law.
+        let log_ys: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
+        let log_fit = linear_fit(&xs, &log_ys).unwrap();
+        assert!((log_fit.slope + 0.04).abs() < 1e-12);
+        assert!((log_fit.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_refused() {
+        assert!(linear_fit(&[1.0], &[2.0]).is_none());
+        assert!(linear_fit(&[1.0, 2.0], &[2.0]).is_none());
+        assert!(linear_fit(&[3.0, 3.0, 3.0], &[1.0, 2.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn constant_y_yields_flat_line_with_unit_r2() {
+        let fit = linear_fit(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.intercept, 5.0);
+        assert_eq!(fit.r2, 1.0);
+    }
+
+    #[test]
+    fn fits_are_bit_identical_across_reruns() {
+        let xs: Vec<f64> = (0..50).map(f64::from).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 3.0 * x - 7.0 + (x * 12.9898).sin())
+            .collect();
+        let a = linear_fit(&xs, &ys).unwrap();
+        let b = linear_fit(&xs, &ys).unwrap();
+        assert_eq!(a.slope.to_bits(), b.slope.to_bits());
+        assert_eq!(a.r2.to_bits(), b.r2.to_bits());
+    }
+}

@@ -1,0 +1,102 @@
+//! Golden-vector tests for the byte-stable sinks.
+//!
+//! The JSONL event log and the Prometheus exposition are *interfaces*:
+//! downstream tooling parses them, and the run manifests point at them by
+//! path. These tests pin their exact bytes against checked-in vectors
+//! under `tests/data/`, so any serialization drift — field order, number
+//! formatting, a renamed event — fails loudly instead of silently
+//! breaking replay tooling.
+//!
+//! Regenerate the vectors after an *intentional* format change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p uvf-trace --test golden_sinks
+//! ```
+//!
+//! and review the diff like any other API change.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use uvf_characterize::prelude::{Harness, RecoveryPolicy, SweepConfig, Tracer};
+use uvf_fpga::{Board, Millivolts, PlatformKind, Rail};
+use uvf_trace::{parse_exposition, JsonlSink, PrometheusSink};
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/data")
+        .join(name)
+}
+
+/// Compare `actual` against the golden file, or rewrite the golden when
+/// `UPDATE_GOLDEN` is set.
+fn assert_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).expect("write golden");
+        println!("regenerated {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {} ({e}); run with UPDATE_GOLDEN=1", name));
+    if expected != actual {
+        // Locate the first divergent line for a readable failure.
+        for (i, (e, a)) in expected.lines().zip(actual.lines()).enumerate() {
+            assert_eq!(e, a, "{name}: first divergence at line {}", i + 1);
+        }
+        assert_eq!(
+            expected.lines().count(),
+            actual.lines().count(),
+            "{name}: line counts differ",
+        );
+        panic!("{name}: bytes differ only in line endings or trailing data");
+    }
+}
+
+/// The JSONL log of a small fixed sweep, byte for byte. The sink omits
+/// `Timing` events and the `wall_ns` annex by design, so an identical
+/// sweep must produce an identical log file.
+#[test]
+fn jsonl_log_of_a_fixed_sweep_is_golden() {
+    let kind = PlatformKind::Zc702;
+    let platform = kind.descriptor();
+    let cfg = SweepConfig::builder(Rail::Vccbram)
+        .runs(2)
+        .start(Millivolts(platform.vccbram.vmin.0 + 20))
+        .build();
+    let log = std::env::temp_dir().join(format!("uvf-golden-sweep-{}.jsonl", std::process::id()));
+    let sink = Arc::new(JsonlSink::create(&log).expect("create log"));
+    let tracer = Tracer::builder().sink(sink).build();
+    let mut harness = Harness::new(Board::new(platform), cfg, RecoveryPolicy::default())
+        .expect("valid config")
+        .with_tracer(tracer.clone());
+    harness.run().expect("sweep completes");
+    tracer.flush();
+    let actual = std::fs::read_to_string(&log).expect("read log");
+    std::fs::remove_file(&log).ok();
+    assert!(!actual.is_empty(), "sweep produced no events");
+    assert_golden("sweep_zc702.jsonl", &actual);
+}
+
+/// The Prometheus exposition over a scripted, fully deterministic event
+/// sequence (counters and fixed-duration timings — span-end wall clocks
+/// are nondeterministic by nature and excluded on purpose).
+#[test]
+fn prometheus_exposition_of_scripted_events_is_golden() {
+    let prom = Arc::new(PrometheusSink::new());
+    let tracer = Tracer::builder().sink(prom.clone()).build();
+    for _ in 0..5 {
+        tracer.counter("runs", 1);
+    }
+    tracer.counter("faults", 1234);
+    tracer.counter("power_cycles", 2);
+    // One sample per histogram decade the fixed buckets distinguish.
+    for ns in [900, 9_000, 90_000, 900_000, 9_000_000] {
+        tracer.timing("bram_scan", ns, 64);
+    }
+    tracer.timing("bram_scan", 900, 64);
+    tracer.flush();
+    let actual = prom.render();
+    parse_exposition(&actual).expect("exposition parses");
+    assert_golden("scripted.prom", &actual);
+}
