@@ -32,11 +32,13 @@ use std::time::Instant;
 use uvf_accel::{layer_vulnerability_traced, LayerFaults, MappedNetwork, Placement};
 use uvf_characterize::prelude::{
     available_threads, cluster_brams, cluster_brams_traced, Campaign, CampaignEntry, CampaignJob,
-    LocationStats, Probe, RecoveryPolicy, SweepConfig, ThermalCampaign, LOCATION_ALPHA,
+    CampaignManifest, LocationStats, Probe, RecoveryPolicy, SweepConfig, ThermalCampaign,
+    LOCATION_ALPHA,
 };
 use uvf_faults::{FaultModel, ReadCondition, ResolvedCondition};
 use uvf_fpga::{Board, DataPattern, Millivolts, Platform, PlatformKind, Rail};
 use uvf_nn::{train, DatasetKind, Mlp, QNetwork, SyntheticData, TrainConfig, MNIST_LAYOUT};
+use uvf_serve::{run_worker, CampaignServer, Endpoint, ServerConfig, Supervisor, WorkerOptions};
 use uvf_trace::{
     parse_exposition, Event, EventKind, Json, JsonlSink, Manifest, MemorySink, PrometheusSink,
     Sink, Tracer, Value,
@@ -59,6 +61,8 @@ struct Args {
     quick: bool,
     check: bool,
     threads: usize,
+    workers: usize,
+    kill: bool,
     out: PathBuf,
     commands: Vec<String>,
 }
@@ -68,6 +72,8 @@ fn parse_args() -> Result<Args, String> {
         quick: false,
         check: false,
         threads: available_threads(),
+        workers: 2,
+        kill: false,
         out: PathBuf::from("repro-out"),
         commands: Vec::new(),
     };
@@ -76,15 +82,21 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "--quick" => args.quick = true,
             "--check" => args.check = true,
+            "--kill" => args.kill = true,
             "--threads" => {
                 let v = it.next().ok_or("--threads needs a value")?;
                 args.threads = v.parse().map_err(|_| format!("bad thread count {v}"))?;
+            }
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a value")?;
+                args.workers = v.parse().map_err(|_| format!("bad worker count {v}"))?;
             }
             "--out" => args.out = PathBuf::from(it.next().ok_or("--out needs a path")?),
             "--help" | "-h" => return Err(usage()),
             "all" => args
                 .commands
                 .extend(COMMANDS.iter().map(|c| (*c).to_string())),
+            "serve" => args.commands.push("serve".to_string()),
             cmd if COMMANDS.contains(&cmd) => args.commands.push(cmd.to_string()),
             other => return Err(format!("unknown argument {other}\n{}", usage())),
         }
@@ -99,7 +111,10 @@ fn parse_args() -> Result<Args, String> {
 fn usage() -> String {
     format!(
         "usage: repro [--quick] [--check] [--threads N] [--out DIR] <cmd>...\n\
-         commands: {} | all",
+         commands: {} | serve | all\n\
+         serve options: [--workers N] [--kill]  (distributed campaign over\n\
+         worker processes; `all` does not include it)\n\
+         worker mode: repro work --endpoint <unix:PATH|tcp:HOST:PORT>",
         COMMANDS.join(" | ")
     )
 }
@@ -280,6 +295,8 @@ struct Ctx {
     quick: bool,
     check: bool,
     threads: usize,
+    workers: usize,
+    kill: bool,
     out: PathBuf,
     fixture: Option<NetFixture>,
 }
@@ -754,6 +771,135 @@ fn run_fig14(ctx: &mut Ctx, tracer: &Tracer) -> Result<CmdSummary, String> {
     })
 }
 
+/// `serve`: the Fig.-1 guardband campaign fanned over worker *processes*
+/// through `uvf-serve` — the server owns the queue and checkpoint store,
+/// workers pull jobs over a Unix socket and stream their trace events
+/// back. With `--kill` one worker is SIGKILLed mid-campaign and the
+/// supervisor replaces it; with `--check` the merged result is compared
+/// byte-for-byte against the in-process sequential runner.
+fn run_serve(ctx: &mut Ctx, tracer: &Tracer) -> Result<CmdSummary, String> {
+    let runs = if ctx.quick { 2 } else { 5 };
+    let workers = ctx.workers.max(1);
+    println!(
+        "serve — distributed campaign: {workers} workers, {runs} runs/level{}",
+        if ctx.kill {
+            ", one induced SIGKILL"
+        } else {
+            ""
+        }
+    );
+    let mut jobs = Vec::new();
+    for kind in PlatformKind::ALL {
+        let mut builder = SweepConfig::builder(Rail::Vccbram).runs(runs);
+        if ctx.quick {
+            builder = builder.start(Millivolts(kind.descriptor().vccbram.vmin.0 + 30));
+        }
+        jobs.push(CampaignJob::new(kind, builder.build()));
+    }
+
+    let mut span = tracer.span_with("serve_campaign", vec![("workers", workers.into())]);
+    let ckpt_dir = ctx.out.join("serve-checkpoints");
+    let sock = ctx.out.join(format!("serve-{}.sock", std::process::id()));
+    let mut config = ServerConfig::new(
+        jobs.clone(),
+        RecoveryPolicy::default(),
+        Endpoint::Unix(sock),
+    );
+    config.checkpoint_dir = Some(ckpt_dir.clone());
+    let handle = CampaignServer::start(config).map_err(|e| format!("server start: {e:?}"))?;
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let mut fleet = Supervisor::new(
+        exe,
+        vec![
+            "work".into(),
+            "--endpoint".into(),
+            handle.endpoint().to_string(),
+        ],
+    );
+    fleet
+        .spawn(workers)
+        .map_err(|e| format!("spawn workers: {e}"))?;
+    tracer.instant("workers_spawned", vec![("workers", workers.into())]);
+
+    let deadline = Instant::now() + std::time::Duration::from_secs(600);
+    let wait = |cond: &dyn Fn() -> bool, what: &str| -> Result<(), String> {
+        while !cond() {
+            if Instant::now() > deadline {
+                return Err(format!(
+                    "timed out waiting for {what}; snapshot {:?}",
+                    handle.snapshot()
+                ));
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        Ok(())
+    };
+    if ctx.kill {
+        wait(&|| handle.snapshot().jobs_done >= 1, "first job completion")?;
+        fleet.kill(0).map_err(|e| format!("kill worker: {e}"))?;
+        tracer.instant("worker_killed", vec![("slot", 0u32.into())]);
+        println!("  [serve] SIGKILLed worker slot 0, respawning");
+        let restarted = fleet.restart_dead().map_err(|e| format!("respawn: {e}"))?;
+        tracer.instant("workers_respawned", vec![("count", restarted.len().into())]);
+    }
+    wait(
+        &|| handle.snapshot().jobs_done == jobs.len(),
+        "campaign completion",
+    )?;
+    let snapshot = handle.snapshot();
+    let result = handle.join().map_err(|e| format!("server join: {e:?}"))?;
+    fleet.shutdown();
+    span.field("workers_seen", snapshot.workers_seen.into());
+    drop(span);
+
+    let events_path = ctx.out.join("serve_events.jsonl");
+    let merged: String = result.events.iter().map(|e| e.to_jsonl() + "\n").collect();
+    std::fs::write(&events_path, merged).map_err(|e| format!("write merged events: {e}"))?;
+    let mut fingerprint = 0u64;
+    for e in &result.entries {
+        println!("  {}", e.report);
+        fingerprint ^= e.record.fingerprint();
+    }
+    println!(
+        "  {} workers seen, assignments {:?}, merged log {}",
+        snapshot.workers_seen,
+        snapshot.assignments,
+        events_path.display(),
+    );
+
+    if ctx.check {
+        let mut campaign = Campaign::new(RecoveryPolicy::default());
+        for job in &jobs {
+            campaign.push(*job);
+        }
+        let expected = campaign
+            .run_sequential()
+            .map_err(|e| format!("in-process baseline: {e:?}"))?;
+        if expected.len() != result.entries.len() {
+            return Err("check: entry count differs from in-process runner".into());
+        }
+        for (e, g) in expected.iter().zip(&result.entries) {
+            if e.record.to_json_string() != g.record.to_json_string() || e.sim_ms != g.sim_ms {
+                return Err(format!(
+                    "check: {:?} diverged from the in-process runner",
+                    e.job.kind
+                ));
+            }
+        }
+        let manifest_expected = CampaignManifest::from_entries(&expected).to_json_string();
+        if result.manifest.to_json_string() != manifest_expected {
+            return Err("check: campaign manifest bytes diverged".into());
+        }
+        println!("  check ok: distributed campaign is bit-identical to the in-process runner");
+        tracer.instant("serve_check_ok", vec![("jobs", jobs.len().into())]);
+    }
+    Ok(CmdSummary {
+        platform: "all".into(),
+        seed: 0,
+        fingerprint,
+    })
+}
+
 /// Validate the artifact triple `--check` style; error strings on failure.
 fn check_artifacts(
     prom_text: &str,
@@ -785,7 +931,8 @@ fn run_command(cmd: &str, ctx: &mut Ctx) -> Result<(), String> {
     let prefix = COMMANDS
         .iter()
         .find(|c| **c == cmd)
-        .expect("validated command");
+        .copied()
+        .unwrap_or("serve");
     let progress = Arc::new(ProgressSink::new(prefix));
     let tracer = Tracer::builder()
         .sink(jsonl.clone())
@@ -805,6 +952,7 @@ fn run_command(cmd: &str, ctx: &mut Ctx) -> Result<(), String> {
         "fig8" => run_fig8(ctx, &tracer),
         "fig13" => run_fig13(ctx, &tracer),
         "fig14" => run_fig14(ctx, &tracer),
+        "serve" => run_serve(ctx, &tracer),
         other => Err(format!("unknown command {other}")),
     }?;
     tracer.flush();
@@ -842,7 +990,45 @@ fn run_command(cmd: &str, ctx: &mut Ctx) -> Result<(), String> {
     Ok(())
 }
 
+/// `repro work --endpoint E`: run this process as a campaign worker.
+/// This is the command line [`run_serve`]'s supervisor spawns, so a
+/// distributed campaign needs no binary besides `repro` itself.
+fn run_work_mode() -> ExitCode {
+    let mut endpoint = None;
+    let mut it = std::env::args().skip(2);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--endpoint" => endpoint = it.next(),
+            other => {
+                eprintln!("repro work: unknown argument {other}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(text) = endpoint else {
+        eprintln!("repro work: --endpoint is required\n{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let endpoint = match Endpoint::parse(&text) {
+        Ok(ep) => ep,
+        Err(msg) => {
+            eprintln!("repro work: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_worker(&WorkerOptions::new(endpoint)) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("repro work: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
+    if std::env::args().nth(1).as_deref() == Some("work") {
+        return run_work_mode();
+    }
     let args = match parse_args() {
         Ok(args) => args,
         Err(msg) => {
@@ -860,6 +1046,8 @@ fn main() -> ExitCode {
         quick: args.quick,
         check: args.check,
         threads: args.threads.max(1),
+        workers: args.workers,
+        kill: args.kill,
         out: args.out,
         fixture: None,
     };

@@ -16,7 +16,9 @@
 
 use crate::guardband::GuardbandReport;
 use crate::harness::{Harness, HarnessError, RecoveryPolicy};
-use crate::record::{SweepOutcome, SweepRecord};
+use crate::json::Json;
+use crate::record::{req_str, req_u64, schema, RecordError, SweepOutcome, SweepRecord};
+use crate::store::CheckpointStore;
 use crate::sweep::SweepConfig;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -43,7 +45,9 @@ impl CampaignJob {
         }
     }
 
-    fn board(&self) -> Board {
+    /// The board this job sweeps (die identity included).
+    #[must_use]
+    pub fn board(&self) -> Board {
         let platform = self.kind.descriptor();
         match self.chip_seed {
             Some(seed) => Board::with_chip_seed(platform, seed),
@@ -51,9 +55,36 @@ impl CampaignJob {
         }
     }
 
-    fn seed(&self) -> u64 {
+    /// The effective die seed (platform default when unset).
+    #[must_use]
+    pub fn seed(&self) -> u64 {
         self.chip_seed
             .unwrap_or(self.kind.descriptor().default_chip_seed)
+    }
+
+    /// Wire form (campaign server → worker).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![("platform", Json::Str(self.kind.to_string()))];
+        if let Some(seed) = self.chip_seed {
+            fields.push(("chip_seed", Json::UInt(seed)));
+        }
+        fields.push(("cfg", self.cfg.to_json()));
+        Json::obj(fields)
+    }
+
+    /// Inverse of [`CampaignJob::to_json`].
+    pub fn from_json(v: &Json) -> Result<CampaignJob, RecordError> {
+        Ok(CampaignJob {
+            kind: req_str(v, "platform")?
+                .parse()
+                .map_err(|_| schema("unknown platform"))?,
+            chip_seed: match v.get("chip_seed") {
+                None => None,
+                Some(seed) => Some(seed.as_u64().ok_or_else(|| schema("chip_seed not a u64"))?),
+            },
+            cfg: SweepConfig::from_json(v.get("cfg").ok_or_else(|| schema("cfg missing"))?)?,
+        })
     }
 
     /// Checkpoint filename of this job inside the campaign directory:
@@ -79,6 +110,127 @@ pub struct CampaignEntry {
     pub report: GuardbandReport,
     /// Simulated milliseconds this board's sweep took.
     pub sim_ms: u64,
+}
+
+/// One job's line in a [`CampaignManifest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ManifestEntry {
+    pub platform: PlatformKind,
+    pub chip_seed: u64,
+    /// The record's configuration fingerprint (checkpoint guard).
+    pub fingerprint: u64,
+    pub outcome: SweepOutcome,
+    /// Simulated milliseconds the job's sweep took.
+    pub sim_ms: u64,
+    /// FNV-1a over the record's canonical JSON ([`SweepRecord::content_hash`]).
+    pub record_hash: u64,
+}
+
+/// The deterministic campaign summary: per-job identity, outcome,
+/// simulated duration and record content hash — and nothing that depends
+/// on wall clocks, worker count, or scheduling. This is the document the
+/// distributed path is required to reproduce **byte-for-byte** against
+/// the in-process [`Campaign`], which makes "the cluster computed the
+/// same science" a single string comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignManifest {
+    pub entries: Vec<ManifestEntry>,
+}
+
+impl CampaignManifest {
+    #[must_use]
+    pub fn from_entries(entries: &[CampaignEntry]) -> CampaignManifest {
+        CampaignManifest {
+            entries: entries
+                .iter()
+                .map(|e| ManifestEntry {
+                    platform: e.record.platform,
+                    chip_seed: e.record.chip_seed,
+                    fingerprint: e.record.fingerprint(),
+                    outcome: e.outcome,
+                    sim_ms: e.sim_ms,
+                    record_hash: e.record.content_hash(),
+                })
+                .collect(),
+        }
+    }
+
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![(
+            "jobs",
+            Json::Arr(
+                self.entries
+                    .iter()
+                    .map(|e| {
+                        Json::obj(vec![
+                            ("platform", Json::Str(e.platform.to_string())),
+                            ("chip_seed", Json::UInt(e.chip_seed)),
+                            ("fingerprint", Json::UInt(e.fingerprint)),
+                            ("outcome", outcome_to_json(e.outcome)),
+                            ("sim_ms", Json::UInt(e.sim_ms)),
+                            ("record_hash", Json::UInt(e.record_hash)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )])
+    }
+
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string()
+    }
+
+    pub fn parse(text: &str) -> Result<CampaignManifest, RecordError> {
+        let v = Json::parse(text)?;
+        let entries = v
+            .get("jobs")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| schema("jobs missing"))?
+            .iter()
+            .map(|e| {
+                Ok(ManifestEntry {
+                    platform: req_str(e, "platform")?
+                        .parse()
+                        .map_err(|_| schema("unknown platform"))?,
+                    chip_seed: req_u64(e, "chip_seed")?,
+                    fingerprint: req_u64(e, "fingerprint")?,
+                    outcome: outcome_from_json(
+                        e.get("outcome").ok_or_else(|| schema("outcome missing"))?,
+                    )?,
+                    sim_ms: req_u64(e, "sim_ms")?,
+                    record_hash: req_u64(e, "record_hash")?,
+                })
+            })
+            .collect::<Result<Vec<_>, RecordError>>()?;
+        Ok(CampaignManifest { entries })
+    }
+}
+
+fn outcome_to_json(outcome: SweepOutcome) -> Json {
+    match outcome {
+        SweepOutcome::InProgress => Json::obj(vec![("kind", Json::Str("in_progress".into()))]),
+        SweepOutcome::CrashFound { vcrash_mv } => Json::obj(vec![
+            ("kind", Json::Str("crash_found".into())),
+            ("vcrash_mv", Json::UInt(u64::from(vcrash_mv))),
+        ]),
+        SweepOutcome::FloorReached => Json::obj(vec![("kind", Json::Str("floor_reached".into()))]),
+    }
+}
+
+fn outcome_from_json(v: &Json) -> Result<SweepOutcome, RecordError> {
+    Ok(match req_str(v, "kind")? {
+        "in_progress" => SweepOutcome::InProgress,
+        "crash_found" => SweepOutcome::CrashFound {
+            vcrash_mv: v
+                .get("vcrash_mv")
+                .and_then(Json::as_u32)
+                .ok_or_else(|| schema("vcrash_mv missing"))?,
+        },
+        "floor_reached" => SweepOutcome::FloorReached,
+        other => return Err(schema(&format!("unknown outcome kind {other}"))),
+    })
 }
 
 /// A set of independent board sweeps executed by a worker pool.
@@ -171,7 +323,21 @@ impl Campaign {
             .with_scan_threads(self.scan_threads)
             .with_tracer(self.tracer.clone());
         if let Some(dir) = &self.checkpoint_dir {
-            harness = harness.with_checkpoint_path(dir.join(job.checkpoint_name()))?;
+            let path = dir.join(job.checkpoint_name());
+            // A torn or corrupt checkpoint (host crash mid-write) is
+            // discarded so the job resweeps from scratch, instead of
+            // failing the whole campaign on a parse error.
+            if CheckpointStore::discard_if_corrupt(&path)? {
+                self.tracer.counter("checkpoints_discarded", 1);
+                self.tracer.instant(
+                    "checkpoint_discarded",
+                    vec![
+                        ("job", idx.into()),
+                        ("platform", job.kind.to_string().into()),
+                    ],
+                );
+            }
+            harness = harness.with_checkpoint_path(path)?;
         }
         let result = harness.run();
         let jobs_done = done.fetch_add(1, Ordering::Relaxed) + 1;
@@ -350,6 +516,62 @@ mod tests {
         }
         let baseline = short_campaign().run_sequential().unwrap();
         for (a, b) in first.iter().zip(&baseline) {
+            assert_eq!(a.record.to_json_string(), b.record.to_json_string());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn job_and_policy_roundtrip_through_wire_json() {
+        let mut job = CampaignJob::new(
+            PlatformKind::Vc707,
+            SweepConfig::builder(Rail::Vccbram).runs(5).build(),
+        );
+        let back = CampaignJob::from_json(&job.to_json()).unwrap();
+        assert_eq!(back, job);
+        job.chip_seed = Some(0xabcd);
+        let back = CampaignJob::from_json(&job.to_json()).unwrap();
+        assert_eq!(back, job);
+        assert_eq!(back.to_json().to_string(), job.to_json().to_string());
+
+        let policy = RecoveryPolicy::default();
+        let back = RecoveryPolicy::from_json(&policy.to_json()).unwrap();
+        assert_eq!(back, policy);
+    }
+
+    #[test]
+    fn manifest_is_deterministic_and_roundtrips() {
+        let campaign = short_campaign();
+        let sequential = CampaignManifest::from_entries(&campaign.run_sequential().unwrap());
+        let parallel = CampaignManifest::from_entries(&campaign.run(4).unwrap());
+        assert_eq!(
+            sequential.to_json_string(),
+            parallel.to_json_string(),
+            "manifest is schedule-independent"
+        );
+        let text = sequential.to_json_string();
+        let back = CampaignManifest::parse(&text).unwrap();
+        assert_eq!(back, sequential);
+        assert_eq!(back.to_json_string(), text, "byte-stable");
+        assert_eq!(back.entries.len(), 4);
+        assert!(back
+            .entries
+            .iter()
+            .all(|e| matches!(e.outcome, SweepOutcome::CrashFound { .. })));
+    }
+
+    #[test]
+    fn corrupt_campaign_checkpoint_is_discarded_and_reswept() {
+        let dir = std::env::temp_dir().join(format!("uvf-campaign-corrupt-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let campaign = short_campaign().with_checkpoint_dir(&dir);
+        let baseline = campaign.run_sequential().unwrap();
+        // Truncate one finished checkpoint to a torn prefix.
+        let victim = dir.join(campaign.jobs()[1].checkpoint_name());
+        let bytes = std::fs::read_to_string(&victim).unwrap();
+        std::fs::write(&victim, &bytes[..bytes.len() / 3]).unwrap();
+        let rerun = campaign.run_sequential().unwrap();
+        for (a, b) in baseline.iter().zip(&rerun) {
             assert_eq!(a.record.to_json_string(), b.record.to_json_string());
         }
         std::fs::remove_dir_all(&dir).ok();

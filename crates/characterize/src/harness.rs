@@ -18,6 +18,7 @@
 //! Simulated time advances only by run / watchdog / backoff costs, never by
 //! process restarts, which is what keeps resumed timelines identical too.
 
+use crate::backoff::Backoff;
 use crate::record::{
     Checkpoint, CrashEvent, LevelRecord, RecordError, RunRecord, SweepOutcome, SweepRecord,
 };
@@ -26,6 +27,7 @@ use std::error::Error;
 use std::fmt;
 use std::path::{Path, PathBuf};
 use uvf_faults::FaultModel;
+use uvf_fpga::seedmix::mix;
 use uvf_fpga::{Board, BoardError, Millivolts};
 use uvf_trace::Tracer;
 
@@ -40,8 +42,11 @@ pub struct RecoveryPolicy {
     /// Power-cycle retries per run before the level is declared the crash
     /// boundary.
     pub max_retries: u32,
-    /// First backoff; doubles on every further retry at the same run.
-    pub backoff_base_ms: u64,
+    /// Retry delay schedule: capped exponential with deterministic jitter
+    /// keyed by the sweep position, so resumes replay identical delays
+    /// (see [`Backoff`]). Shared with the campaign server's worker
+    /// supervisor.
+    pub backoff: Backoff,
     /// Checkpoint after this many completed runs (1 = after every run).
     pub checkpoint_every_runs: u32,
 }
@@ -51,9 +56,42 @@ impl Default for RecoveryPolicy {
         RecoveryPolicy {
             watchdog_timeout_ms: 250,
             max_retries: 3,
-            backoff_base_ms: 100,
+            backoff: Backoff::default(),
             checkpoint_every_runs: 10,
         }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Wire form (campaign server → worker); byte-stable like every other
+    /// JSON in the workspace.
+    #[must_use]
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::obj(vec![
+            ("watchdog_timeout_ms", Json::UInt(self.watchdog_timeout_ms)),
+            ("max_retries", Json::UInt(u64::from(self.max_retries))),
+            ("backoff_base_ms", Json::UInt(self.backoff.base_ms)),
+            ("backoff_cap_ms", Json::UInt(self.backoff.cap_ms)),
+            (
+                "checkpoint_every_runs",
+                Json::UInt(u64::from(self.checkpoint_every_runs)),
+            ),
+        ])
+    }
+
+    /// Inverse of [`RecoveryPolicy::to_json`].
+    pub fn from_json(v: &crate::json::Json) -> Result<RecoveryPolicy, RecordError> {
+        use crate::record::{req_u32, req_u64};
+        Ok(RecoveryPolicy {
+            watchdog_timeout_ms: req_u64(v, "watchdog_timeout_ms")?,
+            max_retries: req_u32(v, "max_retries")?,
+            backoff: Backoff::new(
+                req_u64(v, "backoff_base_ms")?,
+                req_u64(v, "backoff_cap_ms")?,
+            ),
+            checkpoint_every_runs: req_u32(v, "checkpoint_every_runs")?,
+        })
     }
 }
 
@@ -473,10 +511,13 @@ impl Harness {
                     // The watchdog waited its full timeout before declaring
                     // the hang.
                     self.clock.advance(self.policy.watchdog_timeout_ms);
-                    let backoff = self
-                        .policy
-                        .backoff_base_ms
-                        .saturating_mul(1u64 << self.attempt.min(16));
+                    // Jitter keyed by the sweep position (die+config via
+                    // the fingerprint, then voltage and run), so a resumed
+                    // sweep replays identical delays while distinct
+                    // sweeps de-synchronize their retries.
+                    let jitter_key =
+                        mix(&[self.record.fingerprint(), u64::from(v.0), u64::from(run)]);
+                    let backoff = self.policy.backoff.delay_ms(self.attempt, jitter_key);
                     self.record.crash_events.push(CrashEvent {
                         v_mv: v.0,
                         run,

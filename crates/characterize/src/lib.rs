@@ -27,6 +27,7 @@
 
 #![deny(deprecated)]
 
+pub mod backoff;
 pub mod campaign;
 pub mod guardband;
 pub mod harness;
@@ -34,6 +35,7 @@ pub mod parallel;
 pub mod record;
 pub mod search;
 pub mod stats;
+pub mod store;
 pub mod sweep;
 
 /// Byte-stable JSON (de)serialization. The module moved to [`uvf_trace`]
@@ -41,7 +43,8 @@ pub mod sweep;
 /// every existing `uvf_characterize::json::…` path working.
 pub use uvf_trace::json;
 
-pub use campaign::{Campaign, CampaignEntry, CampaignJob};
+pub use backoff::Backoff;
+pub use campaign::{Campaign, CampaignEntry, CampaignJob, CampaignManifest, ManifestEntry};
 pub use guardband::{discover, discover_all, GuardbandReport};
 pub use harness::{Harness, HarnessError, HarnessStatus, RecoveryPolicy, SimClock, MS_PER_RUN};
 pub use json::{Json, JsonError};
@@ -55,6 +58,7 @@ pub use stats::{
     bram_rates_per_mbit, cluster_brams, cluster_brams_traced, BramClusters, LocationStats,
     ThermalCampaign, ThermalPoint, ThermalReport, LOCATION_ALPHA,
 };
+pub use store::{CheckpointStore, JobQueue, LeaseState};
 pub use sweep::{Probe, SweepConfig, SweepConfigBuilder};
 pub use uvf_trace::{Tracer, TracerBuilder};
 
@@ -70,7 +74,10 @@ pub use uvf_trace::{Tracer, TracerBuilder};
 /// assert!(cfg.validate().is_ok());
 /// ```
 pub mod prelude {
-    pub use crate::campaign::{Campaign, CampaignEntry, CampaignJob};
+    pub use crate::backoff::Backoff;
+    pub use crate::campaign::{
+        Campaign, CampaignEntry, CampaignJob, CampaignManifest, ManifestEntry,
+    };
     pub use crate::guardband::{discover, discover_all, GuardbandReport};
     pub use crate::harness::{Harness, HarnessError, HarnessStatus, RecoveryPolicy};
     pub use crate::json::Json;
@@ -81,6 +88,7 @@ pub mod prelude {
         bram_rates_per_mbit, cluster_brams, cluster_brams_traced, BramClusters, LocationStats,
         ThermalCampaign, ThermalPoint, ThermalReport, LOCATION_ALPHA,
     };
+    pub use crate::store::{CheckpointStore, JobQueue, LeaseState};
     pub use crate::sweep::{Probe, SweepConfig, SweepConfigBuilder};
     pub use uvf_trace::{Tracer, TracerBuilder};
 }

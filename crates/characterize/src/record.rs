@@ -63,6 +63,23 @@ impl LevelRecord {
     pub fn median_faults_per_mbit(&self, total_mbit: f64) -> f64 {
         self.median_faults() / total_mbit
     }
+
+    /// Population standard deviation of the per-run fault rate, in
+    /// faults/Mbit — Table II's run-to-run spread column.
+    #[must_use]
+    pub fn sigma_faults_per_mbit(&self, total_mbit: f64) -> f64 {
+        if self.runs.is_empty() {
+            return 0.0;
+        }
+        let rates: Vec<f64> = self
+            .runs
+            .iter()
+            .map(|r| r.faults as f64 / total_mbit)
+            .collect();
+        let mean = rates.iter().sum::<f64>() / rates.len() as f64;
+        let var = rates.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / rates.len() as f64;
+        var.sqrt()
+    }
 }
 
 /// Why the sweep stopped descending.
@@ -326,6 +343,19 @@ impl SweepRecord {
     pub fn to_json_string(&self) -> String {
         self.to_json().to_string()
     }
+
+    /// FNV-1a hash over the canonical JSON bytes: a cheap content
+    /// identity for manifests — two records hash equal iff their
+    /// byte-stable serializations are equal.
+    #[must_use]
+    pub fn content_hash(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in self.to_json_string().bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        hash
+    }
 }
 
 /// Checkpoint = record-so-far + resume cursor. The cursor is tiny on
@@ -376,12 +406,11 @@ impl Checkpoint {
         })
     }
 
-    /// Atomic write: temp file + rename, so a crash mid-write can never
-    /// leave a torn checkpoint behind.
+    /// Atomic write: temp file + fsync + rename, so neither a process
+    /// crash mid-write nor a host crash right after the rename can leave
+    /// a torn checkpoint behind.
     pub fn save(&self, path: &Path) -> Result<(), RecordError> {
-        let tmp = tmp_path(path);
-        fs::write(&tmp, self.to_json_string()).map_err(|e| io_err(&tmp, &e))?;
-        fs::rename(&tmp, path).map_err(|e| io_err(path, &e))
+        write_atomic(path, &self.to_json_string())
     }
 
     pub fn load(path: &Path) -> Result<Checkpoint, RecordError> {
@@ -488,9 +517,7 @@ impl FvmRecord {
 
     /// Atomic write, same discipline as [`Checkpoint::save`].
     pub fn save(&self, path: &Path) -> Result<(), RecordError> {
-        let tmp = tmp_path(path);
-        fs::write(&tmp, self.to_json_string()).map_err(|e| io_err(&tmp, &e))?;
-        fs::rename(&tmp, path).map_err(|e| io_err(path, &e))
+        write_atomic(path, &self.to_json_string())
     }
 
     pub fn load(path: &Path) -> Result<FvmRecord, RecordError> {
@@ -503,6 +530,22 @@ fn tmp_path(path: &Path) -> PathBuf {
     let mut os = path.as_os_str().to_owned();
     os.push(".tmp");
     PathBuf::from(os)
+}
+
+/// The atomic-persist primitive behind every checkpoint/record save:
+/// write a temp file, **fsync it**, then rename over the target. The
+/// fsync matters — without it a host crash can replay the rename before
+/// the data blocks hit disk, leaving a truncated file at the *final*
+/// path where the fingerprint guard would be the only (lucky) defense.
+fn write_atomic(path: &Path, text: &str) -> Result<(), RecordError> {
+    use std::io::Write;
+    let tmp = tmp_path(path);
+    let mut file = fs::File::create(&tmp).map_err(|e| io_err(&tmp, &e))?;
+    file.write_all(text.as_bytes())
+        .and_then(|()| file.sync_all())
+        .map_err(|e| io_err(&tmp, &e))?;
+    drop(file);
+    fs::rename(&tmp, path).map_err(|e| io_err(path, &e))
 }
 
 /// Errors of record/checkpoint (de)serialization.
@@ -550,7 +593,10 @@ fn str_key(s: &str) -> u64 {
     s.bytes().fold(0u64, |acc, b| (acc << 8) | u64::from(b))
 }
 
-fn schema(msg: &str) -> RecordError {
+/// A [`RecordError::Schema`] with `msg` — shared by every JSON decoder in
+/// the workspace (records, campaign jobs, wire messages).
+#[must_use]
+pub fn schema(msg: &str) -> RecordError {
     RecordError::Schema(msg.to_string())
 }
 
@@ -561,19 +607,22 @@ fn io_err(path: &Path, e: &std::io::Error) -> RecordError {
     }
 }
 
-fn req_str<'a>(v: &'a Json, key: &str) -> Result<&'a str, RecordError> {
+/// Required string field, or a schema error naming `key`.
+pub fn req_str<'a>(v: &'a Json, key: &str) -> Result<&'a str, RecordError> {
     v.get(key)
         .and_then(Json::as_str)
         .ok_or_else(|| schema(&format!("{key} missing or not a string")))
 }
 
-fn req_u64(v: &Json, key: &str) -> Result<u64, RecordError> {
+/// Required unsigned-integer field, or a schema error naming `key`.
+pub fn req_u64(v: &Json, key: &str) -> Result<u64, RecordError> {
     v.get(key)
         .and_then(Json::as_u64)
         .ok_or_else(|| schema(&format!("{key} missing or not an integer")))
 }
 
-fn req_u32(v: &Json, key: &str) -> Result<u32, RecordError> {
+/// Required u32 field, or a schema error naming `key`.
+pub fn req_u32(v: &Json, key: &str) -> Result<u32, RecordError> {
     v.get(key)
         .and_then(Json::as_u32)
         .ok_or_else(|| schema(&format!("{key} missing or not a u32")))

@@ -104,6 +104,51 @@ impl SweepConfig {
         Ok(())
     }
 
+    /// Wire form of the configuration (campaign-job serialization): the
+    /// same byte-stable JSON discipline as [`SweepRecord`], carrying every
+    /// field including the probe override.
+    #[must_use]
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::obj(vec![
+            ("rail", Json::Str(self.rail.to_string())),
+            ("probe", Json::Str(self.probe.label().into())),
+            ("pattern", Json::Str(self.pattern.to_string())),
+            ("start_mv", Json::UInt(u64::from(self.start.0))),
+            ("floor_mv", Json::UInt(u64::from(self.floor.0))),
+            ("step_mv", Json::UInt(u64::from(self.step_mv))),
+            ("runs_per_level", Json::UInt(u64::from(self.runs_per_level))),
+            ("temperature_c", Json::Float(self.temperature_c)),
+            ("noise_band_mv", Json::UInt(u64::from(self.noise_band_mv))),
+        ])
+    }
+
+    /// Inverse of [`SweepConfig::to_json`].
+    pub fn from_json(v: &crate::json::Json) -> Result<SweepConfig, crate::record::RecordError> {
+        use crate::json::Json;
+        use crate::record::{req_str, req_u32, schema};
+        let rail: Rail = req_str(v, "rail")?
+            .parse()
+            .map_err(|_| schema("unknown rail"))?;
+        Ok(SweepConfig {
+            rail,
+            probe: Probe::from_label(req_str(v, "probe")?)
+                .ok_or_else(|| schema("unknown probe"))?,
+            pattern: req_str(v, "pattern")?
+                .parse()
+                .map_err(|_| schema("unknown pattern"))?,
+            start: Millivolts(req_u32(v, "start_mv")?),
+            floor: Millivolts(req_u32(v, "floor_mv")?),
+            step_mv: req_u32(v, "step_mv")?,
+            runs_per_level: req_u32(v, "runs_per_level")?,
+            temperature_c: v
+                .get("temperature_c")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| schema("temperature_c missing"))?,
+            noise_band_mv: req_u32(v, "noise_band_mv")?,
+        })
+    }
+
     /// An empty record carrying this configuration, ready for the harness.
     #[must_use]
     pub fn empty_record(&self, board: &Board) -> SweepRecord {
@@ -208,6 +253,25 @@ impl Probe {
         match rail {
             Rail::Vccbram => Probe::Bram,
             _ => Probe::Logic,
+        }
+    }
+
+    /// Stable lowercase wire label (campaign-job serialization).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Probe::Bram => "bram",
+            Probe::Logic => "logic",
+        }
+    }
+
+    /// Inverse of [`Probe::label`].
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<Probe> {
+        match label {
+            "bram" => Some(Probe::Bram),
+            "logic" => Some(Probe::Logic),
+            _ => None,
         }
     }
 

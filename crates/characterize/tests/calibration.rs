@@ -12,17 +12,18 @@ use uvf_faults::FaultModel;
 use uvf_fpga::{Board, Millivolts, PlatformKind, Rail};
 
 /// DESIGN §5 calibration table: (platform, Vnom, Vmin, Vcrash, faults/Mbit
-/// at Vcrash).
-const DESIGN_TABLE: [(PlatformKind, u32, u32, u32, f64); 4] = [
-    (PlatformKind::Vc707, 1000, 610, 540, 652.0),
-    (PlatformKind::Zc702, 1000, 630, 560, 153.0),
-    (PlatformKind::Kc705A, 1000, 600, 530, 254.0),
-    (PlatformKind::Kc705B, 1000, 590, 520, 60.0),
+/// at Vcrash, run-to-run σ of that rate over 100 runs — Table II's
+/// per-voltage-step spread).
+const DESIGN_TABLE: [(PlatformKind, u32, u32, u32, f64, f64); 4] = [
+    (PlatformKind::Vc707, 1000, 610, 540, 652.0, 7.3),
+    (PlatformKind::Zc702, 1000, 630, 560, 153.0, 5.9),
+    (PlatformKind::Kc705A, 1000, 600, 530, 254.0, 4.8),
+    (PlatformKind::Kc705B, 1000, 590, 520, 60.0, 1.8),
 ];
 
 #[test]
 fn vccbram_landmarks_match_design_table() {
-    for (kind, vnom, vmin, vcrash, _) in DESIGN_TABLE {
+    for (kind, vnom, vmin, vcrash, _, _) in DESIGN_TABLE {
         let lm = kind.descriptor().vccbram;
         assert_eq!(lm.nominal, Millivolts(vnom), "{kind:?} Vnom");
         assert_eq!(lm.vmin, Millivolts(vmin), "{kind:?} Vmin");
@@ -69,7 +70,7 @@ fn full_ladder_from_nominal_discovers_zc702_landmarks() {
 /// lives in [`full_hundred_run_campaign_matches_design_targets`].
 #[test]
 fn fault_rate_at_vcrash_tracks_design_targets() {
-    for (kind, _, _, vcrash, target_per_mbit) in DESIGN_TABLE {
+    for (kind, _, _, vcrash, target_per_mbit, _) in DESIGN_TABLE {
         let platform = kind.descriptor();
         let model = FaultModel::new(platform);
         let cfg = SweepConfig::quick(Rail::Vccbram, 5);
@@ -96,8 +97,11 @@ fn fault_rate_at_vcrash_tracks_design_targets() {
 /// boards, fanned across the host's cores by the campaign runner. The
 /// indexed fault kernels brought this from "run explicitly with
 /// `--ignored`" to well under a second of wall-clock, so it now gates
-/// every test run — landmarks exactly, median rate within ±10 %
-/// (measured deviations are below 6 % on every die).
+/// every test run — landmarks exactly, median rate within ±10 %, and the
+/// run-to-run σ of the rate within ±15 % of Table II's per-voltage-step
+/// spread (the common-mode `run_spread_mv` knob is calibrated to land
+/// within ~2 % on every die; per-cell jitter alone averages out over the
+/// faulting population and reaches barely a quarter of the target).
 #[test]
 fn full_hundred_run_campaign_matches_design_targets() {
     let cfg = SweepConfig::listing1(Rail::Vccbram);
@@ -105,7 +109,9 @@ fn full_hundred_run_campaign_matches_design_targets() {
         .run(available_threads())
         .unwrap();
     assert_eq!(entries.len(), DESIGN_TABLE.len());
-    for (entry, (kind, _, vmin, vcrash, target_per_mbit)) in entries.iter().zip(DESIGN_TABLE) {
+    for (entry, (kind, _, vmin, vcrash, target_per_mbit, target_sigma)) in
+        entries.iter().zip(DESIGN_TABLE)
+    {
         assert_eq!(entry.job.kind, kind);
         let platform = kind.descriptor();
         let record = &entry.record;
@@ -122,6 +128,12 @@ fn full_hundred_run_campaign_matches_design_targets() {
         assert!(
             rel < 0.10,
             "{kind:?}: {median:.1} faults/Mbit vs target {target_per_mbit:.0} (rel {rel:.3})"
+        );
+        let sigma = level.sigma_faults_per_mbit(platform.total_mbit());
+        let sigma_rel = (sigma - target_sigma).abs() / target_sigma;
+        assert!(
+            sigma_rel < 0.15,
+            "{kind:?}: run σ {sigma:.2} faults/Mbit vs Table II {target_sigma:.1} (rel {sigma_rel:.3})"
         );
     }
 }

@@ -8,6 +8,7 @@
 
 use crate::mask::{FaultMask, ResolvedCondition};
 use crate::params::FaultParams;
+use crate::rng::standard_normal;
 use crate::thermal::itd_shift_mv;
 use crate::variation::die_multipliers;
 use crate::weakcells::{generate_bram, WeakCell, SENTINEL_SIGMA_OFFSET};
@@ -17,6 +18,7 @@ use uvf_fpga::{BramId, Floorplan, Millivolts, Platform, Rail, BRAM_ROWS, BRAM_WO
 const TAG_RUN: u64 = 0x005e_ed21;
 pub(crate) const TAG_JITTER: u64 = 0x005e_ed22;
 const TAG_SENTINEL: u64 = 0x005e_ed23;
+const TAG_SPREAD: u64 = 0x005e_ed24;
 
 /// Jitter beyond ±4σ is treated as impossible; the decision becomes
 /// deterministic outside that window (error mass < 1e-4 per cell).
@@ -212,9 +214,28 @@ impl FaultModel {
         self.total_weak
     }
 
-    /// Signed shift applied to every threshold under `cond` (ITD + noise).
+    /// Common-mode component of the run-to-run spread: one Gaussian draw
+    /// per `run_seed` shifts every threshold on the die together. Per-cell
+    /// jitter is independent across cells and averages out of the die-wide
+    /// rate; this shared term survives the averaging and is what carries
+    /// Table II's per-voltage-step σ (σ_rate ≈ rate · σ_spread / τ).
+    /// Clamped to the same ±4σ window as cell jitter so the guardband
+    /// above `Vmin` stays deterministically fault-free.
+    fn run_spread_shift_mv(&self, cond: &ReadCondition) -> f64 {
+        let sigma = self.params.run_spread_mv;
+        if sigma == 0.0 {
+            return 0.0;
+        }
+        let draw = standard_normal(mix(&[cond.run_seed, TAG_SPREAD]));
+        sigma * draw.clamp(-JITTER_WINDOW_SIGMAS, JITTER_WINDOW_SIGMAS)
+    }
+
+    /// Signed shift applied to every threshold under `cond` (ITD + supply
+    /// noise + the common-mode run spread).
     fn threshold_shift_mv(&self, cond: &ReadCondition) -> f64 {
-        itd_shift_mv(&self.params, cond.temperature_c) + self.env_noise_mv
+        itd_shift_mv(&self.params, cond.temperature_c)
+            + self.env_noise_mv
+            + self.run_spread_shift_mv(cond)
     }
 
     /// Hoist the condition-dependent work (thermal shift, jitter window)

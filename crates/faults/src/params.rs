@@ -28,8 +28,16 @@ pub struct FaultParams {
     pub spatial_sigma: f64,
     /// Correlation wavelength of the spatial field, in floorplan sites.
     pub spatial_wavelength: f64,
-    /// Run-to-run threshold jitter σ in mV (Table-II spread source).
+    /// Per-cell run-to-run threshold jitter σ in mV. Independent across
+    /// cells, so it averages out of the die-wide rate; its job is making
+    /// individual marginal cells flicker between runs.
     pub run_jitter_sigma_mv: f64,
+    /// Common-mode per-run threshold shift σ in mV: one draw per
+    /// `run_seed` moves every threshold on the die together. This is what
+    /// actually produces Table II's per-voltage-step run σ — the die-wide
+    /// rate scales by `e^(δ/τ)`, so σ_rate ≈ rate · σ_spread / τ.
+    /// Calibrated per platform against DESIGN §5's σ targets at `Vcrash`.
+    pub run_spread_mv: f64,
     /// Inverse-thermal-dependence slope: threshold shift in mV per °C
     /// above [`FaultParams::t_ref_c`] (hotter die ⇒ fewer faults, Fig. 8).
     pub itd_mv_per_c: f64,
@@ -49,26 +57,30 @@ impl FaultParams {
             spatial_sigma: 0.5,
             spatial_wavelength: 6.0,
             run_jitter_sigma_mv: 1.2,
+            run_spread_mv: 0.0,
             itd_mv_per_c: 0.35,
             t_ref_c: 25.0,
         };
         match kind {
             PlatformKind::Vc707 => FaultParams {
                 p_crash_per_bit: 652e-6,
+                run_spread_mv: 0.095,
                 ..base
             },
             PlatformKind::Zc702 => FaultParams {
                 p_crash_per_bit: 153e-6,
-                run_jitter_sigma_mv: 1.3,
+                run_spread_mv: 0.299,
                 ..base
             },
             PlatformKind::Kc705A => FaultParams {
                 p_crash_per_bit: 254e-6,
+                run_spread_mv: 0.150,
                 ..base
             },
             PlatformKind::Kc705B => FaultParams {
                 p_crash_per_bit: 60e-6,
                 run_jitter_sigma_mv: 1.0,
+                run_spread_mv: 0.215,
                 ..base
             },
         }
@@ -90,14 +102,17 @@ mod tests {
 
     #[test]
     fn jitter_leaves_room_for_the_sentinel() {
-        // The Vmin sentinel sits 3σ above Vmin and must stay more than 4σ
-        // below the next VID step (see weakcells.rs), so σ < 10/7 mV.
+        // The Vmin sentinel sits 3σ above Vmin and must stay silent one
+        // VID step higher even when both noise terms hit their clamped
+        // extremes (see weakcells.rs): 3σ + 4σ of cell jitter plus 4
+        // spread-σ of common-mode shift must fit under 10 mV.
         for kind in PlatformKind::ALL {
             let p = FaultParams::for_platform(kind);
             assert!(
-                p.run_jitter_sigma_mv * 7.0 < 10.0,
-                "{kind}: jitter sigma {} too large",
-                p.run_jitter_sigma_mv
+                p.run_jitter_sigma_mv * 7.0 + p.run_spread_mv * 4.0 < 10.0,
+                "{kind}: jitter sigma {} + spread {} too large",
+                p.run_jitter_sigma_mv,
+                p.run_spread_mv
             );
         }
     }

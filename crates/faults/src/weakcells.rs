@@ -16,7 +16,8 @@ const TAG_POLARITY: u64 = 0x00ce_1102;
 
 /// Cells below `Vcrash - KEEP_MARGIN_MV` are dropped at generation time.
 /// The margin covers everything that can re-expose them: environment noise
-/// (≤ ~15 mV per DESIGN §6b) and run jitter (≤ 4σ ≈ 5 mV).
+/// (≤ ~15 mV per DESIGN §6b), per-cell run jitter (≤ 4σ ≈ 5 mV) and the
+/// common-mode run spread (≤ 4σ ≈ 1.1 mV on the widest platform).
 pub const KEEP_MARGIN_MV: f64 = 25.0;
 
 /// The `Vmin` sentinel sits `3σ` above `Vmin`: it faults with ≈99.9 %

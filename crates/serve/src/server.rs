@@ -1,0 +1,549 @@
+//! The campaign server: owns the job queue and checkpoint store, hands
+//! leases to workers, survives their deaths, and merges their results
+//! into the in-process [`Campaign`](uvf_characterize::Campaign)'s exact
+//! bytes.
+//!
+//! ## Crash model
+//!
+//! A worker can fail three ways, and each maps to one recovery path:
+//!
+//! * **It dies** (SIGKILL, OOM, panic) — its socket closes; the
+//!   connection thread releases every lease it held *immediately* and
+//!   the jobs go back to pending.
+//! * **It hangs** while its socket stays open — the supervision tick
+//!   expires its lease at the deadline; the job goes back to pending.
+//! * **It reports failure** ([`Message::JobFailed`]) — the job is
+//!   retried on another worker, up to `max_assignments` total tries,
+//!   after which the failure is permanent and surfaces in
+//!   [`ServerHandle::join`].
+//!
+//! In every case the replacement worker resumes from the checkpoint the
+//! predecessor left in the shared [`CheckpointStore`] — the identical
+//! mechanism PR 1's harness uses for board crashes, lifted one level up.
+//!
+//! ## Determinism
+//!
+//! Completed records are deterministic per job (position-keyed draws),
+//! so *which* worker finishes a job — even a zombie whose lease lapsed —
+//! cannot change its bytes; the server still verifies every incoming
+//! record's fingerprint against the job's expected configuration before
+//! accepting it. Results are merged in job order, making the final
+//! [`CampaignManifest`] byte-identical to a single-process run's.
+
+use crate::protocol::{BoundListener, Conn, Endpoint, Message};
+use std::collections::HashSet;
+use std::io::{self, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use uvf_characterize::guardband::GuardbandReport;
+use uvf_characterize::prelude::{
+    CampaignEntry, CampaignJob, CampaignManifest, CheckpointStore, JobQueue, RecoveryPolicy,
+    SweepRecord,
+};
+use uvf_characterize::record::RecordError;
+use uvf_trace::merge::merge_event_streams;
+use uvf_trace::{Event, EventKind, Value};
+
+/// Everything a campaign server needs to start.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    pub jobs: Vec<CampaignJob>,
+    pub policy: RecoveryPolicy,
+    /// Checkpoint directory shared with the workers (same host or shared
+    /// filesystem); `None` disables checkpointing (kills then lose
+    /// partial progress, but results stay correct).
+    pub checkpoint_dir: Option<PathBuf>,
+    pub endpoint: Endpoint,
+    /// Per-job lease: a worker silent for this long loses the job.
+    pub lease_ms: u64,
+    /// Total assignment attempts per job before its failure is permanent.
+    pub max_assignments: u32,
+}
+
+impl ServerConfig {
+    #[must_use]
+    pub fn new(jobs: Vec<CampaignJob>, policy: RecoveryPolicy, endpoint: Endpoint) -> ServerConfig {
+        ServerConfig {
+            jobs,
+            policy,
+            checkpoint_dir: None,
+            endpoint,
+            lease_ms: 30_000,
+            max_assignments: 5,
+        }
+    }
+}
+
+/// Point-in-time progress view (for chaos harnesses and progress UIs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    pub jobs_total: usize,
+    /// Jobs with an accepted record.
+    pub jobs_done: usize,
+    /// Per-job assignment counts (≥ 2 means the job was reassigned).
+    pub assignments: Vec<u32>,
+    /// Jobs currently out on a live lease.
+    pub jobs_leased: usize,
+    pub workers_seen: usize,
+    /// Jobs whose failure is permanent, with the last error.
+    pub failed: Vec<(usize, String)>,
+}
+
+/// What a finished campaign hands back.
+#[derive(Debug, Clone)]
+pub struct ServerResult {
+    /// Per-job results in job order — same shape, same bytes as
+    /// [`Campaign::run_sequential`](uvf_characterize::Campaign::run_sequential).
+    pub entries: Vec<CampaignEntry>,
+    /// The deterministic summary ([`CampaignManifest`]), byte-comparable
+    /// against the in-process baseline.
+    pub manifest: CampaignManifest,
+    /// All trace events: per-job worker streams plus the server's
+    /// lifecycle injections (lease expiry, reassignment), merged in job
+    /// order with collision-free renumbering.
+    pub events: Vec<Event>,
+}
+
+/// Server-side failure.
+#[derive(Debug)]
+pub enum ServeError {
+    Io(io::Error),
+    /// One or more jobs exhausted `max_assignments`.
+    JobsFailed(Vec<(usize, String)>),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "server I/O: {e}"),
+            ServeError::JobsFailed(jobs) => {
+                write!(f, "{} job(s) failed permanently: ", jobs.len())?;
+                for (idx, err) in jobs {
+                    write!(f, "[job {idx}: {err}] ")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> ServeError {
+        ServeError::Io(e)
+    }
+}
+
+/// Shared mutable server state: the queue plus per-job event segments.
+///
+/// Events are kept as *segments* — one per assignment, plus one-off
+/// lifecycle injections — because each worker tracer numbers its stream
+/// from zero. Merging segment-by-segment (in creation order, job by job)
+/// renumbers everything into one gapless, collision-free log.
+struct State {
+    queue: JobQueue,
+    /// `segments[job]` in creation order.
+    segments: Vec<Vec<Vec<Event>>>,
+    /// Accepted `(record, sim_ms)` per job.
+    results: Vec<Option<(SweepRecord, u64)>>,
+    /// Last error per permanently-failed job.
+    permanent: Vec<Option<String>>,
+    workers_seen: HashSet<u64>,
+    max_assignments: u32,
+}
+
+impl State {
+    /// Inject a server lifecycle event as its own single-event segment.
+    fn inject(&mut self, job: usize, name: &'static str, fields: Vec<(&'static str, Value)>) {
+        self.segments[job].push(vec![Event {
+            seq: 0,
+            kind: EventKind::Instant,
+            name: name.into(),
+            span: None,
+            parent: None,
+            sim_ms: None,
+            wall_ns: None,
+            fields: fields.into_iter().map(|(k, v)| (k.into(), v)).collect(),
+        }]);
+    }
+
+    /// All jobs terminal (done or permanently failed)?
+    fn finished(&self) -> bool {
+        (0..self.queue.len()).all(|i| {
+            self.results[i].is_some()
+                || self.permanent[i].is_some()
+                || self.queue.state(i) == uvf_characterize::store::LeaseState::Done
+        })
+    }
+
+    fn release_worker(&mut self, worker: u64) {
+        for job in self.queue.release_worker(worker) {
+            self.inject(
+                job,
+                "worker_lost",
+                vec![("worker", worker.into()), ("job", job.into())],
+            );
+        }
+    }
+
+    fn expire_leases(&mut self, now_ms: u64) {
+        for (job, worker) in self.queue.expire(now_ms) {
+            self.inject(
+                job,
+                "lease_expired",
+                vec![("worker", worker.into()), ("job", job.into())],
+            );
+        }
+    }
+}
+
+/// Starts and owns a campaign server; see the module docs.
+pub struct CampaignServer;
+
+impl CampaignServer {
+    /// Bind the endpoint, sanitize the checkpoint store, and start the
+    /// accept/supervision loop. Returns immediately; drive progress via
+    /// the returned [`ServerHandle`].
+    pub fn start(config: ServerConfig) -> Result<ServerHandle, ServeError> {
+        let n = config.jobs.len();
+        if let Some(dir) = &config.checkpoint_dir {
+            let store = CheckpointStore::open(dir).map_err(record_io)?;
+            store.sanitize(&config.jobs).map_err(record_io)?;
+        }
+        let listener = config.endpoint.listen()?;
+        let endpoint = listener.endpoint().clone();
+        let state = Arc::new(Mutex::new(State {
+            queue: JobQueue::new(config.jobs.clone(), config.lease_ms),
+            segments: vec![Vec::new(); n],
+            results: vec![None; n],
+            permanent: vec![None; n],
+            workers_seen: HashSet::new(),
+            max_assignments: config.max_assignments,
+        }));
+        let stop = Arc::new(AtomicBool::new(false));
+        let main = {
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop);
+            let config = config.clone();
+            std::thread::spawn(move || serve_loop(&listener, &config, &state, &stop))
+        };
+        Ok(ServerHandle {
+            endpoint,
+            jobs: config.jobs,
+            state,
+            stop,
+            main: Some(main),
+        })
+    }
+}
+
+/// Running server handle: inspect progress, then [`ServerHandle::join`].
+pub struct ServerHandle {
+    endpoint: Endpoint,
+    jobs: Vec<CampaignJob>,
+    state: Arc<Mutex<State>>,
+    stop: Arc<AtomicBool>,
+    main: Option<JoinHandle<io::Result<()>>>,
+}
+
+impl ServerHandle {
+    /// The endpoint workers should connect to (real port for ephemeral
+    /// TCP binds).
+    #[must_use]
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Current progress.
+    pub fn snapshot(&self) -> Snapshot {
+        let state = self.state.lock().expect("server state poisoned");
+        Snapshot {
+            jobs_total: state.queue.len(),
+            jobs_done: state.results.iter().filter(|r| r.is_some()).count(),
+            assignments: (0..state.queue.len())
+                .map(|i| state.queue.assignments(i))
+                .collect(),
+            jobs_leased: (0..state.queue.len())
+                .filter(|i| {
+                    matches!(
+                        state.queue.state(*i),
+                        uvf_characterize::store::LeaseState::Leased { .. }
+                    )
+                })
+                .count(),
+            workers_seen: state.workers_seen.len(),
+            failed: state
+                .permanent
+                .iter()
+                .enumerate()
+                .filter_map(|(i, e)| e.as_ref().map(|msg| (i, msg.clone())))
+                .collect(),
+        }
+    }
+
+    /// Ask the server to stop accepting and wind down (jobs in flight
+    /// are abandoned). [`ServerHandle::join`] still collects whatever
+    /// finished.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Wait for the campaign to finish and merge the results.
+    pub fn join(mut self) -> Result<ServerResult, ServeError> {
+        if let Some(main) = self.main.take() {
+            main.join()
+                .map_err(|_| io::Error::other("server thread panicked"))??;
+        }
+        let state = self.state.lock().expect("server state poisoned");
+        let failed: Vec<(usize, String)> = state
+            .permanent
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.as_ref().map(|msg| (i, msg.clone())))
+            .collect();
+        if !failed.is_empty() {
+            return Err(ServeError::JobsFailed(failed));
+        }
+        let mut entries = Vec::with_capacity(self.jobs.len());
+        for (idx, job) in self.jobs.iter().enumerate() {
+            let (record, sim_ms) = state.results[idx]
+                .clone()
+                .ok_or_else(|| io::Error::other(format!("job {idx} never completed")))?;
+            entries.push(CampaignEntry {
+                job: *job,
+                outcome: record.outcome,
+                report: GuardbandReport::from_record(&record),
+                sim_ms,
+                record,
+            });
+        }
+        let streams: Vec<Vec<Event>> = state
+            .segments
+            .iter()
+            .flat_map(|job_segments| job_segments.iter().cloned())
+            .collect();
+        let manifest = CampaignManifest::from_entries(&entries);
+        Ok(ServerResult {
+            entries,
+            manifest,
+            events: merge_event_streams(&streams),
+        })
+    }
+}
+
+fn record_io(e: RecordError) -> ServeError {
+    ServeError::Io(io::Error::other(e.to_string()))
+}
+
+/// Accept + supervision loop of the main server thread. Exits when every
+/// job is terminal (workers still connected get `NoJob { done: true }`
+/// from their own connection threads) or on [`ServerHandle::stop`].
+fn serve_loop(
+    listener: &BoundListener,
+    config: &ServerConfig,
+    state: &Arc<Mutex<State>>,
+    stop: &Arc<AtomicBool>,
+) -> io::Result<()> {
+    let started = Instant::now();
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        while let Some(conn) = listener.accept()? {
+            let state = Arc::clone(state);
+            let config = config.clone();
+            std::thread::spawn(move || handle_conn(conn, &config, &state, started));
+        }
+        {
+            let mut state = state.lock().expect("server state poisoned");
+            state.expire_leases(now_ms(started));
+            if state.finished() {
+                return Ok(());
+            }
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+fn now_ms(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX)
+}
+
+/// One worker connection, driven until it closes. A close — clean exit
+/// or SIGKILL mid-frame alike — releases every lease the worker holds.
+fn handle_conn(mut conn: Conn, config: &ServerConfig, state: &Arc<Mutex<State>>, started: Instant) {
+    let mut worker_id: Option<u64> = None;
+    // Clean close or torn frame (`Ok(None)` / `Err`): the worker is gone.
+    while let Ok(Some(msg)) = Message::read_from(&mut conn.reader) {
+        let response = {
+            let mut state = state.lock().expect("server state poisoned");
+            handle_message(&msg, &mut state, &mut worker_id, config, started)
+        };
+        if let Some(response) = response {
+            if response.write_to(&mut conn.writer).is_err() {
+                break;
+            }
+        }
+    }
+    if let Some(worker) = worker_id {
+        let mut state = state.lock().expect("server state poisoned");
+        state.release_worker(worker);
+    }
+    let _ = conn.writer.flush();
+}
+
+/// Dispatch one message under the state lock; the response (if any) is
+/// written outside.
+fn handle_message(
+    msg: &Message,
+    state: &mut State,
+    worker_id: &mut Option<u64>,
+    config: &ServerConfig,
+    started: Instant,
+) -> Option<Message> {
+    match msg {
+        Message::Hello { worker } => {
+            *worker_id = Some(*worker);
+            state.workers_seen.insert(*worker);
+            None
+        }
+        Message::JobRequest { worker } => {
+            *worker_id = Some(*worker);
+            state.workers_seen.insert(*worker);
+            let now = now_ms(started);
+            state.expire_leases(now);
+            if state.finished() {
+                return Some(Message::NoJob { done: true });
+            }
+            match state.queue.claim(*worker, now) {
+                None => Some(Message::NoJob { done: false }),
+                Some((job, spec)) => {
+                    let assignment = state.queue.assignments(job);
+                    let name: &'static str = if assignment > 1 {
+                        "job_reassigned"
+                    } else {
+                        "job_claimed"
+                    };
+                    state.inject(
+                        job,
+                        name,
+                        vec![
+                            ("job", job.into()),
+                            ("worker", (*worker).into()),
+                            ("assignment", assignment.into()),
+                            ("platform", spec.kind.to_string().into()),
+                        ],
+                    );
+                    // The segment the worker's own events will land in.
+                    state.segments[job].push(Vec::new());
+                    Some(Message::JobAssign {
+                        job,
+                        spec,
+                        policy: config.policy,
+                        checkpoint_dir: config
+                            .checkpoint_dir
+                            .as_ref()
+                            .map(|d| d.display().to_string()),
+                    })
+                }
+            }
+        }
+        Message::Event { job, line } => {
+            let worker = (*worker_id)?;
+            // Zombie suppression: only the current lease holder's events
+            // enter the job's segment.
+            let holds_lease = matches!(
+                state.queue.state(*job),
+                uvf_characterize::store::LeaseState::Leased { worker: w, .. } if w == worker
+            );
+            if holds_lease {
+                // Progress heartbeat: a streaming worker keeps its lease
+                // alive however long the sweep takes; only silence (a
+                // hang) lets the deadline lapse.
+                state.queue.renew(*job, worker, now_ms(started));
+                if let Ok(event) = Event::parse_jsonl(line) {
+                    if let Some(segment) = state.segments[*job].last_mut() {
+                        segment.push(event);
+                    }
+                }
+            }
+            None
+        }
+        Message::JobDone {
+            job,
+            record,
+            sim_ms,
+        } => {
+            // First completion wins; determinism makes every completion
+            // identical, but the fingerprint check still guards against a
+            // worker running the wrong configuration.
+            if state.results[*job].is_none() {
+                match verify_record(&config.jobs[*job], record) {
+                    Ok(parsed) => {
+                        state.results[*job] = Some((parsed, *sim_ms));
+                        state.queue.complete(*job);
+                        state.inject(
+                            *job,
+                            "job_done",
+                            vec![("job", (*job).into()), ("sim_ms", (*sim_ms).into())],
+                        );
+                    }
+                    Err(err) => fail_job(state, *job, &err),
+                }
+            }
+            None
+        }
+        Message::JobFailed { job, error } => {
+            if state.results[*job].is_none() {
+                fail_job(state, *job, error);
+            }
+            None
+        }
+        // Server-bound connections never receive these.
+        Message::JobAssign { .. } | Message::NoJob { .. } => None,
+    }
+}
+
+/// A failed attempt: release the lease for retry, or — once the
+/// assignment budget is spent — record the permanent failure and
+/// mark the job terminal.
+fn fail_job(state: &mut State, job: usize, error: &str) {
+    state.inject(
+        job,
+        "job_attempt_failed",
+        vec![("job", job.into()), ("error", error.into())],
+    );
+    let attempts = state.queue.assignments(job);
+    if attempts >= state.max_assignments {
+        state.permanent[job] = Some(error.to_string());
+        state.queue.complete(job);
+        state.inject(
+            job,
+            "job_failed",
+            vec![("job", job.into()), ("attempts", attempts.into())],
+        );
+    } else {
+        // Back to pending for the next claimant.
+        state.queue.release(job);
+    }
+}
+
+/// Parse and verify a worker's record against the job it was assigned:
+/// same configuration fingerprint, same die.
+fn verify_record(job: &CampaignJob, record_text: &str) -> Result<SweepRecord, String> {
+    let parsed = uvf_characterize::prelude::Json::parse(record_text)
+        .map_err(|e| format!("record JSON: {e}"))
+        .and_then(|v| SweepRecord::from_json(&v).map_err(|e| format!("record schema: {e}")))?;
+    let expected = job.cfg.empty_record(&job.board()).fingerprint();
+    let found = parsed.fingerprint();
+    if found != expected {
+        return Err(format!(
+            "record fingerprint {found:#x} does not match assigned job {expected:#x}"
+        ));
+    }
+    Ok(parsed)
+}

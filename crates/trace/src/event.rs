@@ -49,6 +49,19 @@ impl Value {
             _ => None,
         }
     }
+
+    /// Inverse of [`Value::to_json`] for the scalar types events carry.
+    #[must_use]
+    pub fn from_json(json: &Json) -> Option<Value> {
+        match json {
+            Json::Str(s) => Some(Value::Str(s.clone())),
+            Json::UInt(v) => Some(Value::U64(*v)),
+            Json::Int(v) => Some(Value::I64(*v)),
+            Json::Float(v) => Some(Value::F64(*v)),
+            Json::Bool(b) => Some(Value::Bool(*b)),
+            Json::Null | Json::Arr(_) | Json::Obj(_) => None,
+        }
+    }
 }
 
 impl From<u64> for Value {
@@ -210,6 +223,79 @@ impl Event {
     pub fn to_jsonl(&self) -> String {
         self.to_json(false).to_string()
     }
+
+    /// Inverse of [`Event::to_json`]: rebuild an event from its JSON form.
+    /// This is how events cross process boundaries — a worker serializes
+    /// each event to a JSONL line, frames it onto the campaign socket, and
+    /// the server parses it back for merge. `wall_ns` is restored only when
+    /// the line opted into the annex; the deterministic core always
+    /// round-trips exactly ([`Event::parse_jsonl`] re-serializes to the
+    /// identical bytes).
+    pub fn from_json(json: &Json) -> Result<Event, String> {
+        let seq = json
+            .get("seq")
+            .and_then(Json::as_u64)
+            .ok_or("event: seq missing")?;
+        let kind_label = json
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("event: kind missing")?;
+        let kind = match kind_label {
+            "span_start" => EventKind::SpanStart,
+            "span_end" => EventKind::SpanEnd,
+            "instant" => EventKind::Instant,
+            "counter" => EventKind::Counter {
+                delta: json
+                    .get("delta")
+                    .and_then(Json::as_u64)
+                    .ok_or("event: counter without delta")?,
+            },
+            "timing" => EventKind::Timing {
+                ns: json
+                    .get("ns")
+                    .and_then(Json::as_u64)
+                    .ok_or("event: timing without ns")?,
+                ops: json
+                    .get("ops")
+                    .and_then(Json::as_u64)
+                    .ok_or("event: timing without ops")?,
+            },
+            other => return Err(format!("event: unknown kind {other:?}")),
+        };
+        let name = json
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("event: name missing")?
+            .to_string();
+        let fields = match json.get("fields") {
+            None => Vec::new(),
+            Some(Json::Obj(entries)) => entries
+                .iter()
+                .map(|(k, v)| {
+                    Value::from_json(v)
+                        .map(|value| (Cow::Owned(k.clone()), value))
+                        .ok_or_else(|| format!("event: field {k:?} is not a scalar"))
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+            Some(_) => return Err("event: fields is not an object".into()),
+        };
+        Ok(Event {
+            seq,
+            kind,
+            name: name.into(),
+            span: json.get("span").and_then(Json::as_u64),
+            parent: json.get("parent").and_then(Json::as_u64),
+            sim_ms: json.get("sim_ms").and_then(Json::as_u64),
+            wall_ns: json.get("wall_ns").and_then(Json::as_u64),
+            fields,
+        })
+    }
+
+    /// Parse one JSONL line back into an event.
+    pub fn parse_jsonl(line: &str) -> Result<Event, String> {
+        let json = Json::parse(line).map_err(|e| format!("event: {e}"))?;
+        Event::from_json(&json)
+    }
 }
 
 #[cfg(test)]
@@ -255,6 +341,41 @@ mod tests {
         e.kind = EventKind::Timing { ns: 10, ops: 3 };
         let line = e.to_jsonl();
         assert!(line.contains("\"ns\":10") && line.contains("\"ops\":3"));
+    }
+
+    #[test]
+    fn jsonl_roundtrips_byte_identical() {
+        for kind in [
+            EventKind::SpanStart,
+            EventKind::SpanEnd,
+            EventKind::Instant,
+            EventKind::Counter { delta: 9 },
+            EventKind::Timing { ns: 77, ops: 4 },
+        ] {
+            let mut e = sample();
+            e.kind = kind;
+            let line = e.to_jsonl();
+            let back = Event::parse_jsonl(&line).expect("parses");
+            assert_eq!(back.to_jsonl(), line, "core round-trips for {kind:?}");
+            assert_eq!(back.wall_ns, None, "annex stays out of JSONL");
+        }
+        // The annex round-trips when opted in.
+        let with_wall = Event::from_json(&sample().to_json(true)).unwrap();
+        assert_eq!(with_wall.wall_ns, Some(999));
+        assert_eq!(with_wall, sample());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_events() {
+        assert!(Event::parse_jsonl("not json").is_err());
+        assert!(Event::parse_jsonl(r#"{"kind":"instant","name":"x"}"#).is_err());
+        assert!(Event::parse_jsonl(r#"{"seq":1,"kind":"warp","name":"x"}"#).is_err());
+        assert!(Event::parse_jsonl(r#"{"seq":1,"kind":"counter","name":"x"}"#).is_err());
+        assert!(
+            Event::parse_jsonl(r#"{"seq":1,"kind":"instant","name":"x","fields":{"a":[1]}}"#)
+                .is_err(),
+            "non-scalar field rejected"
+        );
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod event;
 pub mod histogram;
 pub mod json;
 pub mod manifest;
+pub mod merge;
 pub mod sink;
 pub mod tracer;
 
@@ -45,6 +46,7 @@ pub use event::{Event, EventKind, Value};
 pub use histogram::{bucket_upper_ns, Histogram, BUCKET_COUNT};
 pub use json::{Json, JsonError};
 pub use manifest::{Manifest, PhaseTime};
+pub use merge::merge_event_streams;
 pub use sink::{
     parse_exposition, sanitize_metric_name, JsonlSink, MemorySink, PrometheusSink, Sink,
 };

@@ -1,0 +1,138 @@
+//! Deterministic merge of per-worker event streams.
+//!
+//! A distributed campaign produces one event stream per job, each emitted
+//! by its own [`crate::Tracer`] and therefore each numbered from `seq = 0`
+//! with its own span-id space. To fold them into a single log that is
+//! byte-identical to what a single-process run would have written, the
+//! merge must (a) keep each stream's internal order, (b) concatenate
+//! streams in *job order* — never arrival order, which depends on worker
+//! scheduling — and (c) renumber sequence and span ids so the merged log
+//! is one gapless, collision-free sequence.
+//!
+//! The renumbering rule is purely positional: stream `s` gets the offset
+//! `sum(max_seq(t) + 1 for t < s)` added to every `seq`, `span`, and
+//! `parent` id. Span ids are drawn from the same counter as sequence
+//! numbers (see [`crate::Tracer`]), so a single offset rewrites all three
+//! consistently, and parent links keep pointing at the right spans.
+
+use crate::event::Event;
+
+/// Offset every id in `event` by `offset`: `seq` always, `span`/`parent`
+/// when present. Ids within one stream share a counter, so one shift
+/// preserves every internal reference.
+fn offset_event(event: &Event, offset: u64) -> Event {
+    let mut out = event.clone();
+    out.seq = event.seq + offset;
+    out.span = event.span.map(|id| id + offset);
+    out.parent = event.parent.map(|id| id + offset);
+    out
+}
+
+/// Merge per-job event streams into one deterministic sequence.
+///
+/// `streams` must already be in canonical job order (the order an
+/// in-process sequential campaign would have run the jobs); the merge is
+/// then independent of which worker produced which stream and when it
+/// arrived. Empty streams are legal and contribute nothing — not even an
+/// id gap.
+#[must_use]
+pub fn merge_event_streams(streams: &[Vec<Event>]) -> Vec<Event> {
+    let mut merged = Vec::with_capacity(streams.iter().map(Vec::len).sum());
+    let mut offset = 0u64;
+    for stream in streams {
+        let max_seq = stream.iter().map(|e| e.seq).max();
+        for event in stream {
+            merged.push(offset_event(event, offset));
+        }
+        if let Some(max_seq) = max_seq {
+            offset += max_seq + 1;
+        }
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, Value};
+    use crate::sink::MemorySink;
+    use crate::tracer::Tracer;
+    use std::sync::Arc;
+
+    fn traced_stream(label: &'static str) -> Vec<Event> {
+        let mem = Arc::new(MemorySink::new(64));
+        let tracer = Tracer::builder().sink(mem.clone()).build();
+        {
+            let _span = tracer.span(label);
+            tracer.instant(label, vec![("v", Value::U64(1))]);
+        }
+        mem.events()
+    }
+
+    #[test]
+    fn merge_renumbers_without_collisions() {
+        let streams = vec![traced_stream("a"), traced_stream("b"), traced_stream("c")];
+        let merged = merge_event_streams(&streams);
+        assert_eq!(merged.len(), 9);
+        // Gapless global sequence.
+        for (i, e) in merged.iter().enumerate() {
+            assert_eq!(e.seq, i as u64, "event {i} renumbered");
+        }
+        // Parent links still resolve inside each renumbered stream.
+        for chunk in merged.chunks(3) {
+            let span_id = chunk[0].span.expect("span_start has id");
+            assert_eq!(chunk[1].parent, Some(span_id), "instant under its span");
+            assert_eq!(chunk[2].span, Some(span_id), "span_end closes the span");
+            assert!(matches!(chunk[2].kind, EventKind::SpanEnd));
+        }
+        // No span id is reused across streams.
+        let ids: Vec<u64> = merged.iter().filter_map(|e| e.span).collect();
+        let mut unique = ids.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 3, "one distinct span id per stream");
+    }
+
+    #[test]
+    fn empty_streams_leave_no_gap() {
+        let merged = merge_event_streams(&[traced_stream("a"), Vec::new(), traced_stream("b")]);
+        assert_eq!(merged.len(), 6);
+        for (i, e) in merged.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn merge_of_single_stream_is_identity() {
+        let stream = traced_stream("solo");
+        assert_eq!(merge_event_streams(std::slice::from_ref(&stream)), stream);
+    }
+
+    #[test]
+    fn merged_jsonl_matches_single_tracer_run() {
+        // Two separately-traced halves, merged, must serialize exactly like
+        // one tracer that emitted both halves back to back.
+        let mem = Arc::new(MemorySink::new(64));
+        let tracer = Tracer::builder().sink(mem.clone()).build();
+        for label in ["first", "second"] {
+            let _span = tracer.span(label);
+            tracer.counter("jobs", 1);
+        }
+        let single: Vec<String> = mem.events().iter().map(Event::to_jsonl).collect();
+
+        let merged =
+            merge_event_streams(&[traced_stream_named("first"), traced_stream_named("second")]);
+        let distributed: Vec<String> = merged.iter().map(Event::to_jsonl).collect();
+        assert_eq!(distributed, single);
+    }
+
+    fn traced_stream_named(label: &'static str) -> Vec<Event> {
+        let mem = Arc::new(MemorySink::new(64));
+        let tracer = Tracer::builder().sink(mem.clone()).build();
+        {
+            let _span = tracer.span(label);
+            tracer.counter("jobs", 1);
+        }
+        mem.events()
+    }
+}
