@@ -35,10 +35,14 @@ use uvf_characterize::prelude::{
     CampaignManifest, LocationStats, Probe, RecoveryPolicy, SweepConfig, ThermalCampaign,
     LOCATION_ALPHA,
 };
+use uvf_characterize::record::FvmRecord;
+use uvf_characterize::FvmCache;
 use uvf_faults::{FaultModel, ReadCondition, ResolvedCondition};
 use uvf_fpga::{Board, DataPattern, Millivolts, Platform, PlatformKind, Rail};
 use uvf_nn::{train, DatasetKind, Mlp, QNetwork, SyntheticData, TrainConfig, MNIST_LAYOUT};
-use uvf_serve::{run_worker, CampaignServer, Endpoint, ServerConfig, Supervisor, WorkerOptions};
+use uvf_serve::{
+    run_worker, CampaignServer, Endpoint, Message, ServerConfig, Supervisor, WorkerOptions,
+};
 use uvf_trace::{
     parse_exposition, Event, EventKind, Json, JsonlSink, Manifest, MemorySink, PrometheusSink,
     Sink, Tracer, Value,
@@ -834,6 +838,41 @@ fn run_serve(ctx: &mut Ctx, tracer: &Tracer) -> Result<CmdSummary, String> {
         }
         Ok(())
     };
+    // Exercise the server-side FVM cache while the campaign is live: each
+    // job's die census is fetched twice over a plain client connection —
+    // the first query misses (or reuses a worker-shared model), the second
+    // is a guaranteed server-side hit, so repeat clients are memoized.
+    let mut fvm_conn = handle
+        .endpoint()
+        .connect()
+        .map_err(|e| format!("fvm client connect: {e}"))?;
+    let mut fetched: Vec<(PlatformKind, String)> = Vec::new();
+    for job in &jobs {
+        let p = job.kind.descriptor();
+        let query = Message::GetFvm {
+            platform: job.kind.to_string(),
+            chip_seed: p.default_chip_seed,
+            temp_mc: 25_000,
+            v_ref_mv: p.vccbram.vcrash.0,
+        };
+        for _ in 0..2 {
+            query
+                .write_to(&mut fvm_conn.writer)
+                .map_err(|e| format!("fvm query: {e}"))?;
+            match Message::read_from(&mut fvm_conn.reader) {
+                Ok(Some(Message::Fvm { record })) => fetched.push((job.kind, record)),
+                Ok(other) => return Err(format!("fvm reply: unexpected {other:?}")),
+                Err(e) => return Err(format!("fvm reply: {e}")),
+            }
+        }
+    }
+    drop(fvm_conn);
+    println!(
+        "  [serve] fetched {} FVM censuses from the server cache",
+        fetched.len()
+    );
+    tracer.instant("fvm_fetched", vec![("queries", fetched.len().into())]);
+
     if ctx.kill {
         wait(&|| handle.snapshot().jobs_done >= 1, "first job completion")?;
         fleet.kill(0).map_err(|e| format!("kill worker: {e}"))?;
@@ -875,20 +914,50 @@ fn run_serve(ctx: &mut Ctx, tracer: &Tracer) -> Result<CmdSummary, String> {
         let expected = campaign
             .run_sequential()
             .map_err(|e| format!("in-process baseline: {e:?}"))?;
+        // Bit-identity audit. Every divergence is collected so a failure
+        // exits non-zero with ONE line naming each diverging job and
+        // which aspect broke (record bytes, simulated clock, manifest,
+        // served census) — enough to triage without rerunning.
+        let mut diffs: Vec<String> = Vec::new();
         if expected.len() != result.entries.len() {
-            return Err("check: entry count differs from in-process runner".into());
+            diffs.push(format!(
+                "entry count {} != in-process {}",
+                result.entries.len(),
+                expected.len()
+            ));
         }
-        for (e, g) in expected.iter().zip(&result.entries) {
-            if e.record.to_json_string() != g.record.to_json_string() || e.sim_ms != g.sim_ms {
-                return Err(format!(
-                    "check: {:?} diverged from the in-process runner",
-                    e.job.kind
-                ));
+        for (idx, (e, g)) in expected.iter().zip(&result.entries).enumerate() {
+            let mut aspects = Vec::new();
+            if e.record.to_json_string() != g.record.to_json_string() {
+                aspects.push("record");
+            }
+            if e.sim_ms != g.sim_ms {
+                aspects.push("sim_ms");
+            }
+            if !aspects.is_empty() {
+                diffs.push(format!("job {idx} ({}): {}", e.job.kind, aspects.join("+")));
             }
         }
         let manifest_expected = CampaignManifest::from_entries(&expected).to_json_string();
         if result.manifest.to_json_string() != manifest_expected {
-            return Err("check: campaign manifest bytes diverged".into());
+            diffs.push("manifest: bytes diverged".into());
+        }
+        // The served censuses must match a local capture byte-for-byte
+        // (the cache is keyed purely; quantized 25 °C is exactly t_ref).
+        for (idx, (kind, record)) in fetched.iter().enumerate() {
+            let p = kind.descriptor();
+            let map =
+                FvmCache::global().variation_map(p, p.default_chip_seed, 25.0, p.vccbram.vcrash);
+            if *record != FvmRecord::from_map(&map).to_json().to_string() {
+                diffs.push(format!("fvm query {idx} ({kind}): census bytes diverged"));
+            }
+        }
+        if !diffs.is_empty() {
+            return Err(format!(
+                "check failed — {} divergence(s): {}",
+                diffs.len(),
+                diffs.join("; ")
+            ));
         }
         println!("  check ok: distributed campaign is bit-identical to the in-process runner");
         tracer.instant("serve_check_ok", vec![("jobs", jobs.len().into())]);
@@ -956,6 +1025,11 @@ fn run_command(cmd: &str, ctx: &mut Ctx) -> Result<(), String> {
         other => Err(format!("unknown command {other}")),
     }?;
     tracer.flush();
+    // FVM-cache counters surface in the exposition and manifest via a
+    // prom-only tracer: the .jsonl event log stays byte-stable across
+    // reruns (cache traffic can race, the deterministic stream cannot).
+    let counters_only = Tracer::builder().sink(prom.clone()).build();
+    FvmCache::global().publish(&counters_only);
     let wall_ns_total = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
 
     let manifest = Manifest {

@@ -241,6 +241,66 @@ impl Suite {
     }
 }
 
+/// Compare this suite's medians against a previously committed
+/// `BENCH_sweep.json` (parsed into `baseline`). A **watched** bench — one
+/// whose name starts with any of `watch_prefixes` — regresses when its
+/// median exceeds the baseline median by more than `max_regression_pct`;
+/// the returned list describes every regression (empty = pass). Benches
+/// new since the baseline are skipped: they have nothing to regress from.
+///
+/// Quick and full runs have different problem sizes, so comparing across
+/// modes is meaningless and an error, not a silent pass.
+pub fn compare_to_baseline(
+    current: &Suite,
+    baseline: &Json,
+    max_regression_pct: f64,
+    watch_prefixes: &[&str],
+) -> Result<Vec<String>, String> {
+    let base_quick = baseline
+        .get("quick")
+        .and_then(Json::as_bool)
+        .ok_or("baseline missing quick flag")?;
+    if base_quick != current.quick {
+        return Err(format!(
+            "baseline is a {} run, current is {}: not comparable",
+            if base_quick { "quick" } else { "full" },
+            if current.quick { "quick" } else { "full" },
+        ));
+    }
+    let benches = baseline
+        .get("benches")
+        .and_then(Json::as_arr)
+        .ok_or("baseline missing benches array")?;
+    let base_median = |name: &str| -> Option<u64> {
+        benches
+            .iter()
+            .find(|b| b.get("name").and_then(Json::as_str) == Some(name))
+            .and_then(|b| b.get("median_ns").and_then(Json::as_u64))
+    };
+    let allowed = 1.0 + max_regression_pct / 100.0;
+    let mut regressions = Vec::new();
+    for m in &current.measurements {
+        if !watch_prefixes.iter().any(|p| m.name.starts_with(p)) {
+            continue;
+        }
+        let Some(base) = base_median(&m.name) else {
+            continue;
+        };
+        let limit = base as f64 * allowed;
+        if m.median_ns as f64 > limit {
+            regressions.push(format!(
+                "{}: median {} ns > baseline {} ns (+{:.1}% > +{:.0}% allowed)",
+                m.name,
+                m.median_ns,
+                base,
+                (m.median_ns as f64 / base.max(1) as f64 - 1.0) * 100.0,
+                max_regression_pct,
+            ));
+        }
+    }
+    Ok(regressions)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -307,6 +367,54 @@ mod tests {
             .and_then(|d| d.get("speedup"))
             .and_then(Json::as_f64);
         assert_eq!(speedup, Some(12.5));
+    }
+
+    #[test]
+    fn baseline_compare_flags_watched_regressions_only() {
+        let mut old = Suite::new(true, 4);
+        for (name, ns) in [
+            ("mask_build/full_die", 100u64),
+            ("ladder_mask_build/ladder_kernel", 100),
+            ("nn/classify_per_sample", 100),
+        ] {
+            old.record(Measurement {
+                name: name.into(),
+                ops_per_sample: 1,
+                samples_ns: vec![ns],
+                median_ns: ns,
+                min_ns: ns,
+                max_ns: ns,
+            });
+        }
+        let baseline = Json::parse(&old.to_json_string()).unwrap();
+
+        let mut new = Suite::new(true, 4);
+        for (name, ns) in [
+            ("mask_build/full_die", 150u64),          // +50%: regression
+            ("ladder_mask_build/ladder_kernel", 110), // +10%: within budget
+            ("nn/classify_per_sample", 900),          // unwatched: ignored
+            ("ladder_mask_build/brand_new", 999),     // no baseline: skipped
+        ] {
+            new.record(Measurement {
+                name: name.into(),
+                ops_per_sample: 1,
+                samples_ns: vec![ns],
+                median_ns: ns,
+                min_ns: ns,
+                max_ns: ns,
+            });
+        }
+        let watch = ["mask_build", "ladder_mask_build"];
+        let regressions = compare_to_baseline(&new, &baseline, 20.0, &watch).unwrap();
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert!(regressions[0].starts_with("mask_build/full_die"));
+
+        let mut full = new.clone();
+        full.quick = false;
+        assert!(
+            compare_to_baseline(&full, &baseline, 20.0, &watch).is_err(),
+            "quick baseline vs full run must refuse to compare"
+        );
     }
 
     #[test]

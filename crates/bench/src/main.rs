@@ -27,11 +27,13 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 use uvf_accel::{LayerFaults, MappedNetwork, Placement};
-use uvf_bench::{bench, median_ns, BenchOptions, Measurement, Suite};
+use uvf_bench::{bench, compare_to_baseline, median_ns, BenchOptions, Measurement, Suite};
+use uvf_characterize::parallel::platform_fault_count;
+use uvf_characterize::platform_level_counts;
 use uvf_characterize::prelude::{
-    available_threads, Campaign, CampaignJob, Probe, RecoveryPolicy, SweepConfig,
+    available_threads, Campaign, CampaignJob, FvmCache, Json, Probe, RecoveryPolicy, SweepConfig,
 };
-use uvf_faults::{run_seed, FaultModel, ReadCondition};
+use uvf_faults::{run_seed, FaultModel, LadderKernel, ReadCondition, ResolvedCondition};
 use uvf_fpga::{Board, BramId, Millivolts, PlatformKind, Rail, BRAM_ROWS};
 use uvf_nn::{Mlp, QNetwork};
 use uvf_trace::{Manifest, MemorySink, Tracer};
@@ -40,13 +42,29 @@ struct Args {
     quick: bool,
     threads: usize,
     out: PathBuf,
+    /// Committed `BENCH_sweep.json` to compare against: exit non-zero on
+    /// a > 20% median regression of any watched (mask-build/sweep) bench.
+    baseline: Option<PathBuf>,
 }
+
+/// Regression budget for `--baseline` (percent over the baseline median).
+const MAX_REGRESSION_PCT: f64 = 20.0;
+/// Bench-name prefixes `--baseline` watches: the mask-build and sweep
+/// phases the ladder kernel accelerates.
+const BASELINE_WATCH: [&str; 5] = [
+    "mask_build",
+    "ladder_mask_build",
+    "sweep_level_counts",
+    "platform_scan",
+    "campaign",
+];
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         quick: false,
         threads: available_threads(),
         out: PathBuf::from("BENCH_sweep.json"),
+        baseline: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -59,8 +77,14 @@ fn parse_args() -> Result<Args, String> {
             "--out" => {
                 args.out = PathBuf::from(it.next().ok_or("--out needs a path")?);
             }
+            "--baseline" => {
+                args.baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a path")?));
+            }
             "--help" | "-h" => {
-                return Err("usage: uvf-bench [--quick] [--threads N] [--out PATH]".into());
+                return Err(
+                    "usage: uvf-bench [--quick] [--threads N] [--out PATH] [--baseline PATH]"
+                        .into(),
+                );
             }
             other => return Err(format!("unknown argument {other}")),
         }
@@ -148,11 +172,13 @@ fn bench_word_kernels(suite: &mut Suite, opts: &BenchOptions) {
     });
     print_measurement(suite.record(masked));
 
+    // Per-BRAM iterator: the same masks in the same order, without
+    // materializing the whole-die Vec the old `fault_masks` allocated.
     let build = bench(
         "mask_build/full_die",
         model.platform().bram_count as u64,
         opts,
-        || model.fault_masks(&cond).len(),
+        || model.fault_masks_iter(&resolved).count(),
     );
     print_measurement(suite.record(build));
 
@@ -165,6 +191,154 @@ fn bench_word_kernels(suite: &mut Suite, opts: &BenchOptions) {
     let masked_ns = suite.measurements[3].median_ns.max(1) as f64;
     suite.derive("bulk_word_corruption_speedup", linear_ns / resolved_ns);
     suite.derive("mask_vs_linear_speedup", linear_ns / masked_ns);
+}
+
+/// The tentpole: the mask-build phase of a full Listing-1 sweep, per-level
+/// rebuilds vs the incremental [`LadderKernel`] — and the per-level run
+/// family counted per run vs batched through one `MaskPlan` scan.
+fn bench_ladder(suite: &mut Suite, opts: &BenchOptions) {
+    let kind = if opts.quick {
+        PlatformKind::Zc702
+    } else {
+        PlatformKind::Vc707
+    };
+    let platform = kind.descriptor();
+    let model = FaultModel::new(platform);
+    // The paper's Listing 1 verbatim: default ladder, default 100 runs per
+    // level. The condition stream is level-major — every run of a level,
+    // then the next rung down — exactly as the harness executes it.
+    let cfg = SweepConfig::builder(Rail::Vccbram).build();
+    let levels = cfg.levels();
+    let stream: Vec<ResolvedCondition> = levels
+        .iter()
+        .flat_map(|&v| {
+            let model = &model;
+            let cfg = &cfg;
+            (0..cfg.runs_per_level).map(move |run| {
+                model.resolve(&ReadCondition {
+                    v,
+                    temperature_c: cfg.temperature_c,
+                    run_seed: run_seed(model.chip_seed(), Rail::Vccbram, v, run),
+                })
+            })
+        })
+        .collect();
+    let brams = platform.bram_count as u32;
+    // The legacy paths price every condition identically and independently,
+    // so a strided subsample of the stream measures their per-op cost
+    // without the full 5600-condition wall-clock; the kernel is
+    // path-dependent and runs the complete stream. Per-op medians compare
+    // one-to-one. The stride is coprime to the run count so the subsample
+    // cycles through every level and run phase.
+    let probe_conds: Vec<&ResolvedCondition> = stream.iter().step_by(37).collect();
+    let probe_ops = probe_conds.len() as u64 * u64::from(brams);
+    let stream_ops = stream.len() as u64 * u64::from(brams);
+    println!(
+        "ladder kernels: {kind}, full Listing-1 sweep ({} levels x {} runs x {brams} BRAMs; \
+         legacy paths sampled every 37th condition)",
+        levels.len(),
+        cfg.runs_per_level
+    );
+
+    // The seed-era per-level path: materialize the whole platform's masks
+    // from scratch for each (level, run) condition.
+    let per_level = bench(
+        "ladder_mask_build/per_level_rebuild",
+        probe_ops,
+        opts,
+        || {
+            let mut acc = 0u64;
+            for rc in &probe_conds {
+                for mask in model.fault_masks(rc.condition()) {
+                    acc += u64::from(mask.flip_cells());
+                }
+            }
+            acc
+        },
+    );
+    print_measurement(suite.record(per_level));
+
+    // The per-BRAM iterator: same per-condition rebuilds, nothing
+    // materialized platform-wide.
+    let per_iter = bench("ladder_mask_build/per_level_iter", probe_ops, opts, || {
+        let mut acc = 0u64;
+        for rc in &probe_conds {
+            for mask in model.fault_masks_iter(rc) {
+                acc += u64::from(mask.flip_cells());
+            }
+        }
+        acc
+    });
+    print_measurement(suite.record(per_iter));
+
+    // The incremental kernel over the complete stream.
+    let kernel = bench("ladder_mask_build/ladder_kernel", stream_ops, opts, || {
+        let mut acc = 0u64;
+        for b in 0..brams {
+            let mut k = LadderKernel::new(&model, BramId(b));
+            for rc in &stream {
+                k.advance(rc);
+                acc += u64::from(k.flip_cells());
+            }
+        }
+        acc
+    });
+    print_measurement(suite.record(kernel));
+
+    let n = suite.measurements.len();
+    let rebuild = &suite.measurements[n - 3];
+    let iter = &suite.measurements[n - 2];
+    let kern = &suite.measurements[n - 1];
+    let rebuild_op = rebuild.median_ns as f64 / rebuild.ops_per_sample as f64;
+    let iter_op = iter.median_ns as f64 / iter.ops_per_sample as f64;
+    let kernel_op = (kern.median_ns as f64 / kern.ops_per_sample as f64).max(1e-9);
+    suite.derive("ladder_mask_build_speedup", rebuild_op / kernel_op);
+    suite.derive("ladder_iter_vs_kernel_speedup", iter_op / kernel_op);
+
+    // The sweep's counting phase over the same Listing-1 stream: per-run
+    // platform scans (the `ScanEngine::PerRun` oracle) vs each level's run
+    // family batched through one `MaskPlan` scan. Per-run is stateless per
+    // condition, so it too is priced on a strided subsample.
+    let count_conds: Vec<&ResolvedCondition> = stream.iter().step_by(113).collect();
+    println!("level counts: {kind}, full Listing-1 sweep (per-run sampled every 113th condition)");
+
+    let per_run = bench(
+        "sweep_level_counts/per_run",
+        count_conds.len() as u64,
+        opts,
+        || {
+            count_conds
+                .iter()
+                .map(|rc| platform_fault_count(&model, cfg.pattern, rc, 1))
+                .sum::<u64>()
+        },
+    );
+    print_measurement(suite.record(per_run));
+
+    let families: Vec<&[ResolvedCondition]> = stream.chunks(cfg.runs_per_level as usize).collect();
+    let batched = bench(
+        "sweep_level_counts/batched",
+        stream.len() as u64,
+        opts,
+        || {
+            families
+                .iter()
+                .map(|family| {
+                    platform_level_counts(&model, cfg.pattern, family, 1)
+                        .iter()
+                        .sum::<u64>()
+                })
+                .sum::<u64>()
+        },
+    );
+    print_measurement(suite.record(batched));
+
+    let n = suite.measurements.len();
+    let per_run = &suite.measurements[n - 2];
+    let batched = &suite.measurements[n - 1];
+    let per_run_op = per_run.median_ns as f64 / per_run.ops_per_sample as f64;
+    let batched_op = (batched.median_ns as f64 / batched.ops_per_sample as f64).max(1e-9);
+    suite.derive("ladder_level_counts_speedup", per_run_op / batched_op);
 }
 
 /// One full-pool probe scan, sequential vs parallel.
@@ -419,6 +593,11 @@ fn main() -> ExitCode {
     }
     println!();
     {
+        let _p = phase_tracer.span("ladder");
+        bench_ladder(&mut suite, &opts);
+    }
+    println!();
+    {
         let _p = phase_tracer.span("platform_scan");
         bench_platform_scan(&mut suite, &opts, threads);
     }
@@ -439,6 +618,18 @@ fn main() -> ExitCode {
     }
     suite.phases = Manifest::phases_from_events(&phase_sink.events());
 
+    // The campaign benches above ran through the shared FVM cache; record
+    // its traffic so BENCH_sweep.json documents the memoization at work.
+    let cache = FvmCache::global();
+    suite.derive("fvm_cache_hits", cache.hits() as f64);
+    suite.derive("fvm_cache_misses", cache.misses() as f64);
+    println!(
+        "\nfvm cache: {} hits / {} misses / {} evictions",
+        cache.hits(),
+        cache.misses(),
+        cache.evictions()
+    );
+
     println!("\nphases:");
     for p in &suite.phases {
         println!("  {:<32} {:>10.1} ms", p.name, p.wall_ns as f64 / 1e6);
@@ -453,13 +644,51 @@ fn main() -> ExitCode {
     }
 
     match suite.write(&args.out) {
-        Ok(()) => {
-            println!("\nwrote {}", args.out.display());
-            ExitCode::SUCCESS
-        }
+        Ok(()) => println!("\nwrote {}", args.out.display()),
         Err(e) => {
             eprintln!("cannot write {}: {e}", args.out.display());
-            ExitCode::FAILURE
+            return ExitCode::FAILURE;
         }
     }
+
+    if let Some(path) = &args.baseline {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("cannot read baseline {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let baseline = match Json::parse(&text) {
+            Ok(json) => json,
+            Err(e) => {
+                eprintln!("baseline {} is not valid JSON: {e:?}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        match compare_to_baseline(&suite, &baseline, MAX_REGRESSION_PCT, &BASELINE_WATCH) {
+            Ok(regressions) if regressions.is_empty() => {
+                println!(
+                    "baseline {}: all watched medians within {MAX_REGRESSION_PCT:.0}%",
+                    path.display()
+                );
+            }
+            Ok(regressions) => {
+                eprintln!(
+                    "baseline {}: {} regression(s):",
+                    path.display(),
+                    regressions.len()
+                );
+                for r in &regressions {
+                    eprintln!("  {r}");
+                }
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("baseline {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
 }

@@ -15,7 +15,7 @@
 //! and still produces the sequential baseline's bytes.
 
 use crate::guardband::GuardbandReport;
-use crate::harness::{Harness, HarnessError, RecoveryPolicy};
+use crate::harness::{Harness, HarnessError, RecoveryPolicy, ScanEngine};
 use crate::json::Json;
 use crate::record::{req_str, req_u64, schema, RecordError, SweepOutcome, SweepRecord};
 use crate::store::CheckpointStore;
@@ -240,6 +240,7 @@ pub struct Campaign {
     policy: RecoveryPolicy,
     checkpoint_dir: Option<PathBuf>,
     scan_threads: usize,
+    engine: ScanEngine,
     /// Passive observability shared by the pool and inherited by every
     /// job's harness. With multiple board threads the interleaving of
     /// *campaign-level* events follows the (nondeterministic) scheduler;
@@ -255,8 +256,18 @@ impl Campaign {
             policy,
             checkpoint_dir: None,
             scan_threads: 1,
+            engine: ScanEngine::default(),
             tracer: Tracer::disabled(),
         }
+    }
+
+    /// Scan engine every job's harness uses. Pure performance knob —
+    /// `tests/ladder_identity.rs` and the serve chaos suite pin the
+    /// engines to identical bytes.
+    #[must_use]
+    pub fn with_engine(mut self, engine: ScanEngine) -> Campaign {
+        self.engine = engine;
+        self
     }
 
     /// Attach a tracer; every job's harness inherits it. Results are
@@ -321,6 +332,7 @@ impl Campaign {
         );
         let mut harness = Harness::new(job.board(), job.cfg, self.policy)?
             .with_scan_threads(self.scan_threads)
+            .with_engine(self.engine)
             .with_tracer(self.tracer.clone());
         if let Some(dir) = &self.checkpoint_dir {
             let path = dir.join(job.checkpoint_name());

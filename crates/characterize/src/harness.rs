@@ -19,6 +19,8 @@
 //! process restarts, which is what keeps resumed timelines identical too.
 
 use crate::backoff::Backoff;
+use crate::cache::FvmCache;
+use crate::parallel;
 use crate::record::{
     Checkpoint, CrashEvent, LevelRecord, RecordError, RunRecord, SweepOutcome, SweepRecord,
 };
@@ -26,9 +28,10 @@ use crate::sweep::{Probe, SweepConfig};
 use std::error::Error;
 use std::fmt;
 use std::path::{Path, PathBuf};
-use uvf_faults::FaultModel;
+use std::sync::Arc;
+use uvf_faults::{run_seed, FaultModel, ReadCondition, ResolvedCondition};
 use uvf_fpga::seedmix::mix;
-use uvf_fpga::{Board, BoardError, Millivolts};
+use uvf_fpga::{Board, BoardError, BramId, Millivolts};
 use uvf_trace::Tracer;
 
 /// Simulated cost of one write/read-back run.
@@ -184,10 +187,27 @@ pub enum HarnessStatus {
     Paused { runs_done: u64 },
 }
 
+/// How the harness prices a BRAM probe scan. Pure performance knob:
+/// records, fingerprints and checkpoint bytes are bit-identical for every
+/// engine — `tests/ladder_identity.rs` pins that across all platforms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScanEngine {
+    /// One full descending-threshold scan per `(level, run)` condition —
+    /// the seed-era baseline, kept as the equivalence oracle.
+    PerRun,
+    /// Batch every run of a level through one [`uvf_faults::MaskPlan`]:
+    /// the sorted cells are scanned once per level and each run costs two
+    /// binary searches plus its own jitter window.
+    #[default]
+    Ladder,
+}
+
 /// The crash-resilient sweep driver.
 pub struct Harness {
     board: Board,
-    model: FaultModel,
+    /// Shared through [`FvmCache`]: the same die is reused across probes,
+    /// campaign jobs and worker assignments instead of being regenerated.
+    model: Arc<FaultModel>,
     probe: Probe,
     cfg: SweepConfig,
     policy: RecoveryPolicy,
@@ -202,6 +222,11 @@ pub struct Harness {
     /// Workers for the per-BRAM probe scan (1 = sequential). Pure
     /// performance knob: records are bit-identical for every value.
     scan_threads: usize,
+    engine: ScanEngine,
+    /// The [`ScanEngine::Ladder`] level plan: per-run counts of the level
+    /// currently being swept, batched through one sorted-cell scan. Purely
+    /// derived state — never checkpointed, rebuilt identically on resume.
+    level_counts: Option<(Millivolts, Vec<u64>)>,
     /// Passive observability: events mirror what the harness does and
     /// never influence it, so records are bit-identical with tracing on.
     tracer: Tracer,
@@ -214,7 +239,9 @@ impl Harness {
         policy: RecoveryPolicy,
     ) -> Result<Harness, HarnessError> {
         cfg.validate().map_err(HarnessError::Config)?;
-        let model = FaultModel::with_chip_seed(*board.platform(), board.chip_seed());
+        // Consult the process-wide cache: the same (platform, chip_seed)
+        // die is shared across harnesses, search probes and worker jobs.
+        let model = FvmCache::global().model(*board.platform(), board.chip_seed());
         let mut record = cfg.empty_record(&board);
         record.noise_band_mv = cfg.noise_band_mv;
         let mut board = board;
@@ -233,8 +260,23 @@ impl Harness {
             armed: false,
             runs_since_checkpoint: 0,
             scan_threads: 1,
+            engine: ScanEngine::default(),
+            level_counts: None,
             tracer: Tracer::disabled(),
         })
+    }
+
+    /// Select the probe-scan engine. Records are bit-identical for every
+    /// engine; [`ScanEngine::PerRun`] exists as the equivalence oracle.
+    #[must_use]
+    pub fn with_engine(mut self, engine: ScanEngine) -> Harness {
+        self.engine = engine;
+        self
+    }
+
+    #[must_use]
+    pub fn engine(&self) -> ScanEngine {
+        self.engine
     }
 
     /// Attach a tracer. Telemetry is strictly passive: the sweep record is
@@ -608,14 +650,7 @@ impl Harness {
                     ("threads", self.scan_threads.into()),
                 ],
             );
-            self.probe.sample_with_threads(
-                &self.board,
-                &self.model,
-                &self.cfg,
-                v,
-                run,
-                self.scan_threads,
-            )
+            self.scan_faults(v, run)
         });
         match result {
             Ok(faults) => {
@@ -625,6 +660,54 @@ impl Harness {
             Err(BoardError::Crashed { .. }) => Ok(None),
             Err(e) => Err(HarnessError::Board(e)),
         }
+    }
+
+    /// One probe scan under the configured [`ScanEngine`]. The ladder
+    /// engine's counts come from the level plan (identical `u64`s, built
+    /// from the same seeds); the liveness read is preserved so a hung
+    /// board still fails here instead of silently returning model data.
+    fn scan_faults(&mut self, v: Millivolts, run: u32) -> Result<u64, BoardError> {
+        if self.engine == ScanEngine::Ladder && self.probe == Probe::Bram {
+            // Same liveness check as the per-run probe path.
+            self.board.read_row(BramId(0), 0)?;
+            if self.level_counts.as_ref().map(|(lv, _)| *lv) != Some(v) {
+                let counts = self.build_level_counts(v);
+                self.level_counts = Some((v, counts));
+            }
+            let (_, counts) = self.level_counts.as_ref().expect("level plan just built");
+            Ok(counts[run as usize])
+        } else {
+            self.probe.sample_with_threads(
+                &self.board,
+                &self.model,
+                &self.cfg,
+                v,
+                run,
+                self.scan_threads,
+            )
+        }
+    }
+
+    /// Batch every run of level `v` through one `MaskPlan`: the sorted
+    /// cells are scanned once and each run costs two binary searches plus
+    /// its jitter window. Derived state only — a resume rebuilds the same
+    /// counts from the same attempt-independent seeds.
+    fn build_level_counts(&self, v: Millivolts) -> Vec<u64> {
+        let conditions: Vec<ResolvedCondition> = (0..self.cfg.runs_per_level)
+            .map(|run| {
+                self.model.resolve(&ReadCondition {
+                    v,
+                    temperature_c: self.cfg.temperature_c,
+                    run_seed: run_seed(self.model.chip_seed(), self.cfg.rail, v, run),
+                })
+            })
+            .collect();
+        parallel::platform_level_counts(
+            &self.model,
+            self.cfg.pattern,
+            &conditions,
+            self.scan_threads,
+        )
     }
 
     /// Arm the probe and set the rail if either was disturbed (sweep start,

@@ -28,6 +28,7 @@
 #![deny(deprecated)]
 
 pub mod backoff;
+pub mod cache;
 pub mod campaign;
 pub mod guardband;
 pub mod harness;
@@ -44,11 +45,14 @@ pub mod sweep;
 pub use uvf_trace::json;
 
 pub use backoff::Backoff;
+pub use cache::FvmCache;
 pub use campaign::{Campaign, CampaignEntry, CampaignJob, CampaignManifest, ManifestEntry};
 pub use guardband::{discover, discover_all, GuardbandReport};
-pub use harness::{Harness, HarnessError, HarnessStatus, RecoveryPolicy, SimClock, MS_PER_RUN};
+pub use harness::{
+    Harness, HarnessError, HarnessStatus, RecoveryPolicy, ScanEngine, SimClock, MS_PER_RUN,
+};
 pub use json::{Json, JsonError};
-pub use parallel::available_threads;
+pub use parallel::{available_threads, platform_level_counts};
 pub use record::{
     Checkpoint, CrashEvent, FvmRecord, LevelRecord, RecordError, RunRecord, SweepOutcome,
     SweepRecord, RECORD_VERSION,
@@ -75,11 +79,12 @@ pub use uvf_trace::{Tracer, TracerBuilder};
 /// ```
 pub mod prelude {
     pub use crate::backoff::Backoff;
+    pub use crate::cache::FvmCache;
     pub use crate::campaign::{
         Campaign, CampaignEntry, CampaignJob, CampaignManifest, ManifestEntry,
     };
     pub use crate::guardband::{discover, discover_all, GuardbandReport};
-    pub use crate::harness::{Harness, HarnessError, HarnessStatus, RecoveryPolicy};
+    pub use crate::harness::{Harness, HarnessError, HarnessStatus, RecoveryPolicy, ScanEngine};
     pub use crate::json::Json;
     pub use crate::parallel::available_threads;
     pub use crate::record::{Checkpoint, FvmRecord, LevelRecord, SweepOutcome, SweepRecord};

@@ -13,7 +13,7 @@
 //! here; the multi-board campaign in [`crate::campaign`] is where dynamic
 //! scheduling pays off).
 
-use uvf_faults::{FaultModel, ResolvedCondition};
+use uvf_faults::{FaultModel, MaskPlan, ResolvedCondition, WeakCell};
 use uvf_fpga::{BramId, DataPattern};
 
 /// Threads worth using on this host (≥ 1). The sweep engine treats `0` and
@@ -79,6 +79,71 @@ pub fn platform_fault_count(
     counts.iter().sum()
 }
 
+/// Whether a flip of `cell` is observable against `pattern` — the exact
+/// predicate [`bram_fault_count`] applies, factored out so the batched
+/// ladder path below counts the same thing.
+fn observable_against(pattern: DataPattern, bram: BramId, cell: &WeakCell) -> bool {
+    let stored = pattern.word(bram, u32::from(cell.row));
+    cell.observable(stored & (1u16 << cell.bit) != 0)
+}
+
+/// Observable flips across the whole BRAM pool for *every* condition of a
+/// ladder-level family at once — the [`MaskPlan`] fast path. `out[i]` is
+/// bit-identical to `platform_fault_count(model, pattern, &conditions[i],
+/// _)` for any thread count: per-BRAM counts are `u64` sums, accumulated
+/// chunk-by-chunk in `BramId` order.
+#[must_use]
+pub fn platform_level_counts(
+    model: &FaultModel,
+    pattern: DataPattern,
+    conditions: &[ResolvedCondition],
+    threads: usize,
+) -> Vec<u64> {
+    let runs = conditions.len();
+    let n_brams = model.platform().bram_count;
+    let plan = MaskPlan::new(model, conditions.to_vec());
+    let obs = |bram: BramId, cell: &WeakCell| observable_against(pattern, bram, cell);
+    let workers = threads.min(n_brams).max(1);
+    if workers <= 1 || runs == 0 {
+        let mut totals = vec![0u64; runs];
+        let mut per_bram = vec![0u64; runs];
+        for b in 0..n_brams as u32 {
+            plan.bram_counts(BramId(b), obs, &mut per_bram);
+            for (t, c) in totals.iter_mut().zip(&per_bram) {
+                *t += c;
+            }
+        }
+        return totals;
+    }
+    let chunk = n_brams.div_ceil(workers);
+    let mut partials: Vec<Vec<u64>> = vec![vec![0u64; runs]; workers];
+    std::thread::scope(|scope| {
+        for (i, acc) in partials.iter_mut().enumerate() {
+            let first = (i * chunk) as u32;
+            let last = ((i + 1) * chunk).min(n_brams) as u32;
+            let plan = &plan;
+            scope.spawn(move || {
+                let mut per_bram = vec![0u64; runs];
+                for b in first..last {
+                    plan.bram_counts(BramId(b), obs, &mut per_bram);
+                    for (t, c) in acc.iter_mut().zip(&per_bram) {
+                        *t += c;
+                    }
+                }
+            });
+        }
+    });
+    // Chunk accumulators merge in chunk (= BramId) order; u64 addition is
+    // exact, so the totals match the sequential reduction bit-for-bit.
+    let mut totals = vec![0u64; runs];
+    for acc in &partials {
+        for (t, c) in totals.iter_mut().zip(acc) {
+            *t += c;
+        }
+    }
+    totals
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,5 +175,34 @@ mod tests {
     #[test]
     fn available_threads_is_positive() {
         assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    fn batched_level_counts_equal_per_run_counts_for_any_thread_count() {
+        let platform = PlatformKind::Zc702.descriptor();
+        let model = FaultModel::new(platform);
+        let vcrash = platform.vccbram.vcrash;
+        let conditions: Vec<ResolvedCondition> = (0..6)
+            .map(|run| {
+                model.resolve(&ReadCondition {
+                    v: vcrash,
+                    temperature_c: 25.0,
+                    run_seed: run_seed(model.chip_seed(), Rail::Vccbram, vcrash, run),
+                })
+            })
+            .collect();
+        let expect: Vec<u64> = conditions
+            .iter()
+            .map(|rc| platform_fault_count(&model, DataPattern::AllOnes, rc, 1))
+            .collect();
+        assert!(expect.iter().any(|&c| c > 0), "no faults at Vcrash");
+        for threads in [1, 2, 5, 64] {
+            assert_eq!(
+                platform_level_counts(&model, DataPattern::AllOnes, &conditions, threads),
+                expect,
+                "{threads} threads"
+            );
+        }
+        assert!(platform_level_counts(&model, DataPattern::AllOnes, &[], 4).is_empty());
     }
 }

@@ -1,0 +1,104 @@
+//! The ladder scan engine is a pure performance knob: full-ladder sweep
+//! records, fingerprints and checkpoint bytes are bit-identical to the
+//! per-run baseline on every platform, thread count, and through
+//! checkpointed resume.
+
+use uvf_characterize::prelude::*;
+use uvf_fpga::{Board, Millivolts, PlatformKind, Rail};
+
+fn listing1_cfg(kind: PlatformKind) -> SweepConfig {
+    // The full Listing-1 ladder shape (1000 mV down to the crash) with a
+    // reduced run count per level so four platforms stay test-sized; the
+    // level structure — the thing the ladder kernel exploits — is intact.
+    let _ = kind;
+    SweepConfig::builder(Rail::Vccbram).runs(3).build()
+}
+
+fn run_with(kind: PlatformKind, engine: ScanEngine, threads: usize) -> (String, u64) {
+    let board = Board::new(kind.descriptor());
+    let mut h = Harness::new(board, listing1_cfg(kind), RecoveryPolicy::default())
+        .unwrap()
+        .with_engine(engine)
+        .with_scan_threads(threads);
+    h.run().unwrap();
+    (h.record().to_json_string(), h.clock_ms())
+}
+
+#[test]
+fn ladder_engine_is_bit_identical_on_all_platforms() {
+    for kind in PlatformKind::ALL {
+        let (legacy, legacy_ms) = run_with(kind, ScanEngine::PerRun, 1);
+        let (ladder, ladder_ms) = run_with(kind, ScanEngine::Ladder, 1);
+        assert_eq!(legacy, ladder, "{kind:?}: record diverged");
+        assert_eq!(legacy_ms, ladder_ms, "{kind:?}: simulated clock diverged");
+        let (threaded, _) = run_with(kind, ScanEngine::Ladder, 4);
+        assert_eq!(legacy, threaded, "{kind:?}: threaded ladder diverged");
+    }
+}
+
+#[test]
+fn ladder_engine_checkpoint_bytes_match_the_per_run_path() {
+    let kind = PlatformKind::Zc702;
+    let dir = std::env::temp_dir().join(format!("uvf_ladder_identity_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut finals = Vec::new();
+    for (name, engine) in [
+        ("per_run", ScanEngine::PerRun),
+        ("ladder", ScanEngine::Ladder),
+    ] {
+        let path = dir.join(format!("{name}.json"));
+        let board = Board::new(kind.descriptor());
+        let mut h = Harness::new(board, listing1_cfg(kind), RecoveryPolicy::default())
+            .unwrap()
+            .with_engine(engine)
+            .with_checkpoint_path(&path)
+            .unwrap();
+        // Pause mid-sweep, then resume in a fresh harness from the
+        // checkpoint — the crash-recovery path the fleet exercises.
+        let _ = h.run_budgeted(7).unwrap();
+        drop(h);
+        let board = Board::new(kind.descriptor());
+        let mut h = Harness::new(board, listing1_cfg(kind), RecoveryPolicy::default())
+            .unwrap()
+            .with_engine(engine)
+            .with_checkpoint_path(&path)
+            .unwrap();
+        h.run().unwrap();
+        finals.push(std::fs::read(&path).unwrap());
+    }
+    assert_eq!(
+        finals[0], finals[1],
+        "checkpoint bytes diverged between engines"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resumed_ladder_sweep_matches_uninterrupted() {
+    let kind = PlatformKind::Kc705A;
+    let cfg = SweepConfig::builder(Rail::Vccbram)
+        .runs(4)
+        .start(Millivolts(kind.descriptor().vccbram.vmin.0 + 20))
+        .build();
+    let mut straight = Harness::new(
+        Board::new(kind.descriptor()),
+        cfg,
+        RecoveryPolicy::default(),
+    )
+    .unwrap()
+    .with_engine(ScanEngine::Ladder);
+    straight.run().unwrap();
+    let mut chunked = Harness::new(
+        Board::new(kind.descriptor()),
+        cfg,
+        RecoveryPolicy::default(),
+    )
+    .unwrap()
+    .with_engine(ScanEngine::Ladder);
+    while let HarnessStatus::Paused { .. } = chunked.run_budgeted(3).unwrap() {}
+    assert_eq!(
+        straight.record().to_json_string(),
+        chunked.record().to_json_string(),
+        "budget-paused ladder sweep must replay identically"
+    );
+}

@@ -108,7 +108,19 @@ impl FaultModel {
     /// experimental map converge to exactly this census.
     #[must_use]
     pub fn variation_map(&self, v_ref: Millivolts) -> FaultVariationMap {
-        let cutoff = f64::from(v_ref.0);
+        self.variation_map_at(v_ref, self.params().t_ref_c)
+    }
+
+    /// [`FaultModel::variation_map`] at an explicit die temperature: the
+    /// ITD shift moves every effective threshold, so a hotter die shows a
+    /// smaller census at the same reference voltage (Fig. 8 applied to the
+    /// FVM). At the calibration reference temperature the shift is exactly
+    /// zero and this is byte-for-byte [`FaultModel::variation_map`] — the
+    /// invariant the `(platform, chip_seed, temp_c)` cache key relies on.
+    #[must_use]
+    pub fn variation_map_at(&self, v_ref: Millivolts, temperature_c: f64) -> FaultVariationMap {
+        let cutoff =
+            f64::from(v_ref.0) - crate::thermal::itd_shift_mv(self.params(), temperature_c);
         let counts = (0..self.platform().bram_count as u32)
             .map(|b| {
                 // Weak lists are sorted by descending threshold: count the

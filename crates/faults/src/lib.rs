@@ -16,6 +16,7 @@
 #![deny(deprecated)]
 
 pub mod fvm;
+pub mod ladder;
 pub mod mask;
 pub mod model;
 pub mod params;
@@ -25,7 +26,8 @@ pub mod variation;
 pub mod weakcells;
 
 pub use fvm::FaultVariationMap;
-pub use mask::{FaultMask, ResolvedCondition};
+pub use ladder::{LadderKernel, LadderStep, MaskPlan};
+pub use mask::{FaultMask, ResolvedCondition, WindowJudge};
 pub use model::{run_seed, FaultModel, ReadCondition};
 pub use params::FaultParams;
 pub use weakcells::{WeakCell, KEEP_MARGIN_MV};

@@ -19,7 +19,17 @@
 //! worker  ->  server   Event     { job, line }   (one JSONL trace event)
 //! worker  ->  server   JobDone   { job, record, sim_ms }
 //! worker  ->  server   JobFailed { job, error }
+//! client  ->  server   GetFvm    { platform, chip_seed, temp_mc, v_ref_mv }
+//! server  ->  client   Fvm       { record }       (FvmRecord canonical JSON)
 //! ```
+//!
+//! `GetFvm` lets any client — a worker about to place an accelerator, a
+//! repeat client across millions of chip seeds — fetch a fault-variation
+//! census from the server's shared `FvmCache` instead of regenerating the
+//! die locally. Temperature travels as milli-°C (`temp_mc`) so the wire
+//! key is integral; the reply is the byte-stable [`FvmRecord`] JSON.
+//!
+//! [`FvmRecord`]: uvf_characterize::record::FvmRecord
 
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -108,6 +118,21 @@ pub enum Message {
         job: usize,
         error: String,
     },
+    /// Fetch the fault-variation census for a die from the server's
+    /// shared [`FvmCache`](uvf_characterize::FvmCache).
+    GetFvm {
+        /// Platform label (`PlatformKind::to_string` / `FromStr` form).
+        platform: String,
+        chip_seed: u64,
+        /// Temperature in milli-°C — fixed point keeps `f64` off the wire.
+        temp_mc: i64,
+        v_ref_mv: u32,
+    },
+    /// Reply to [`Message::GetFvm`]: the census as canonical
+    /// [`FvmRecord`](uvf_characterize::record::FvmRecord) JSON.
+    Fvm {
+        record: String,
+    },
 }
 
 impl Message {
@@ -163,6 +188,22 @@ impl Message {
                 ("job", Json::UInt(*job as u64)),
                 ("error", Json::Str(error.clone())),
             ]),
+            Message::GetFvm {
+                platform,
+                chip_seed,
+                temp_mc,
+                v_ref_mv,
+            } => Json::obj(vec![
+                ("type", Json::Str("get_fvm".into())),
+                ("platform", Json::Str(platform.clone())),
+                ("chip_seed", Json::UInt(*chip_seed)),
+                ("temp_mc", Json::Int(*temp_mc)),
+                ("v_ref_mv", Json::UInt(u64::from(*v_ref_mv))),
+            ]),
+            Message::Fvm { record } => Json::obj(vec![
+                ("type", Json::Str("fvm".into())),
+                ("record", Json::Str(record.clone())),
+            ]),
         }
     }
 
@@ -207,6 +248,22 @@ impl Message {
             "job_failed" => Message::JobFailed {
                 job: job()?,
                 error: req_str(v, "error")?.to_string(),
+            },
+            "get_fvm" => Message::GetFvm {
+                platform: req_str(v, "platform")?.to_string(),
+                chip_seed: req_u64(v, "chip_seed")?,
+                temp_mc: match v.get("temp_mc") {
+                    Some(Json::Int(t)) => *t,
+                    Some(Json::UInt(t)) => {
+                        i64::try_from(*t).map_err(|_| schema("temp_mc overflow"))?
+                    }
+                    _ => return Err(schema("temp_mc missing")),
+                },
+                v_ref_mv: u32::try_from(req_u64(v, "v_ref_mv")?)
+                    .map_err(|_| schema("v_ref_mv overflow"))?,
+            },
+            "fvm" => Message::Fvm {
+                record: req_str(v, "record")?.to_string(),
             },
             other => return Err(schema(&format!("unknown message type {other}"))),
         })
@@ -401,6 +458,15 @@ mod tests {
             Message::JobFailed {
                 job: 2,
                 error: "board on fire".into(),
+            },
+            Message::GetFvm {
+                platform: PlatformKind::Vc707.to_string(),
+                chip_seed: 0xFEED,
+                temp_mc: -1_500,
+                v_ref_mv: 540,
+            },
+            Message::Fvm {
+                record: r#"{"platform":"vc707"}"#.into(),
             },
         ]
     }

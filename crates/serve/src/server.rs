@@ -379,7 +379,17 @@ fn handle_conn(mut conn: Conn, config: &ServerConfig, state: &Arc<Mutex<State>>,
     let mut worker_id: Option<u64> = None;
     // Clean close or torn frame (`Ok(None)` / `Err`): the worker is gone.
     while let Ok(Some(msg)) = Message::read_from(&mut conn.reader) {
-        let response = {
+        // Census queries never touch the queue: answered off-lock so a
+        // cache miss (die generation) cannot stall lease supervision.
+        let response = if let Message::GetFvm {
+            platform,
+            chip_seed,
+            temp_mc,
+            v_ref_mv,
+        } = &msg
+        {
+            Some(answer_fvm(platform, *chip_seed, *temp_mc, *v_ref_mv))
+        } else {
             let mut state = state.lock().expect("server state poisoned");
             handle_message(&msg, &mut state, &mut worker_id, config, started)
         };
@@ -503,8 +513,38 @@ fn handle_message(
             }
             None
         }
-        // Server-bound connections never receive these.
-        Message::JobAssign { .. } | Message::NoJob { .. } => None,
+        // GetFvm is routed off-lock in `handle_conn`; the rest are
+        // messages server-bound connections never receive.
+        Message::GetFvm { .. }
+        | Message::JobAssign { .. }
+        | Message::NoJob { .. }
+        | Message::Fvm { .. } => None,
+    }
+}
+
+/// Answer a census query from the process-wide [`FvmCache`]: repeat
+/// clients across millions of chip seeds hit memoized maps instead of
+/// regenerating dies. Purity of the map makes the reply byte-identical
+/// whether it was a hit or a miss; the cache's hit/miss/eviction counters
+/// are published by the driving binary at its reporting boundary.
+fn answer_fvm(platform: &str, chip_seed: u64, temp_mc: i64, v_ref_mv: u32) -> Message {
+    use uvf_characterize::record::FvmRecord;
+    use uvf_characterize::FvmCache;
+    use uvf_fpga::{Millivolts, PlatformKind};
+    let Ok(kind) = platform.parse::<PlatformKind>() else {
+        return Message::JobFailed {
+            job: 0,
+            error: format!("get_fvm: unknown platform {platform:?}"),
+        };
+    };
+    let map = FvmCache::global().variation_map(
+        kind.descriptor(),
+        chip_seed,
+        temp_mc as f64 / 1000.0,
+        Millivolts(v_ref_mv),
+    );
+    Message::Fvm {
+        record: FvmRecord::from_map(&map).to_json().to_string(),
     }
 }
 

@@ -20,7 +20,7 @@ use uvf_characterize::prelude::*;
 use uvf_characterize::record::Checkpoint;
 use uvf_fpga::seedmix::mix;
 use uvf_fpga::{Millivolts, PlatformKind, Rail};
-use uvf_serve::{CampaignServer, Endpoint, ServerConfig, ServerHandle, Supervisor};
+use uvf_serve::{CampaignServer, Endpoint, Message, ServerConfig, ServerHandle, Supervisor};
 use uvf_trace::Event;
 
 const WORKER_BIN: &str = env!("CARGO_BIN_EXE_uvf-serve-worker");
@@ -353,4 +353,93 @@ fn sigkilled_and_hung_workers_recover_to_identical_bytes() {
 
     std::fs::remove_dir_all(&base_dir).ok();
     std::fs::remove_dir_all(&dist_dir).ok();
+}
+
+/// The ladder kernel and the FVM cache are pure perf machinery: a
+/// distributed campaign (workers sweep with the default ladder engine,
+/// models served from the process-wide cache) must merge to the same
+/// manifest bytes as an in-process baseline forced onto the legacy
+/// per-run engine — and census queries answered mid-campaign must match
+/// a from-scratch capture byte-for-byte.
+#[test]
+fn ladder_engine_and_fvm_cache_preserve_merged_manifest_bytes() {
+    let jobs = campaign_jobs();
+    let base_dir = scratch_dir("base-ladder");
+    let mut campaign = Campaign::new(RecoveryPolicy::default())
+        .with_checkpoint_dir(&base_dir)
+        .with_engine(ScanEngine::PerRun);
+    for job in &jobs {
+        campaign.push(*job);
+    }
+    let expected = campaign.run_sequential().unwrap();
+    let manifest_expected = CampaignManifest::from_entries(&expected).to_json_string();
+
+    let dir = scratch_dir("dist-ladder");
+    let sock = std::env::temp_dir().join(format!("uvf-ladder-{}.sock", std::process::id()));
+    let mut config = ServerConfig::new(
+        jobs.clone(),
+        RecoveryPolicy::default(),
+        Endpoint::Unix(sock),
+    );
+    config.checkpoint_dir = Some(dir.clone());
+    let handle = CampaignServer::start(config).unwrap();
+
+    // Query the server-side cache while the campaign is live: twice per
+    // die, so the second answer is a guaranteed cache hit — and both
+    // answers must equal an independent from-scratch census.
+    let mut conn = handle.endpoint().connect().unwrap();
+    let hits_before = FvmCache::global().hits();
+    for job in &jobs[..2] {
+        let p = job.kind.descriptor();
+        let chip_seed = job.chip_seed.unwrap_or(p.default_chip_seed);
+        let query = Message::GetFvm {
+            platform: job.kind.to_string(),
+            chip_seed,
+            temp_mc: 25_000,
+            v_ref_mv: p.vccbram.vcrash.0,
+        };
+        let fresh = uvf_characterize::record::FvmRecord::capture(
+            &uvf_faults::FaultModel::with_chip_seed(p, chip_seed),
+            p.vccbram.vcrash,
+        )
+        .to_json()
+        .to_string();
+        for round in 0..2 {
+            query.write_to(&mut conn.writer).unwrap();
+            match Message::read_from(&mut conn.reader).unwrap() {
+                Some(Message::Fvm { record }) => {
+                    assert_eq!(record, fresh, "{:?} round {round}: served census", job.kind);
+                }
+                other => panic!("expected Fvm reply, got {other:?}"),
+            }
+        }
+    }
+    drop(conn);
+    assert!(
+        FvmCache::global().hits() > hits_before,
+        "repeat census queries must hit the server cache"
+    );
+
+    let mut fleet = Supervisor::new(
+        WORKER_BIN,
+        vec!["--endpoint".into(), handle.endpoint().to_string()],
+    );
+    fleet.spawn(2).unwrap();
+    wait_until(
+        &handle,
+        Duration::from_secs(120),
+        || handle.snapshot().jobs_done == jobs.len(),
+        "ladder campaign",
+    );
+    let result = handle.join().unwrap();
+    fleet.shutdown();
+
+    assert_entries_match("ladder", &expected, &result.entries);
+    assert_eq!(
+        result.manifest.to_json_string(),
+        manifest_expected,
+        "ladder-engine merged manifest bytes"
+    );
+    std::fs::remove_dir_all(&base_dir).ok();
+    std::fs::remove_dir_all(&dir).ok();
 }
