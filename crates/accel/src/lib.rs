@@ -21,9 +21,11 @@
 #![deny(deprecated)]
 
 pub mod engine;
+pub mod pareto;
 pub mod placement;
 pub mod vulnerability;
 
 pub use engine::{LayerFaults, MappedNetwork};
+pub use pareto::{voltage_accuracy_power_sweep, ParetoConfig, ParetoPoint, ParetoSweep};
 pub use placement::{brams_for, LayerSpan, Placement};
 pub use vulnerability::{layer_vulnerability, layer_vulnerability_traced, VulnerabilityReport};

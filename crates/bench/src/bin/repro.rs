@@ -15,11 +15,17 @@
 //! lifecycle) streams to stdout as log lines rendered straight from the
 //! trace events — the renderer is just another [`Sink`].
 //!
+//! Experiments are rows of the declarative [`REGISTRY`]: each carries its
+//! name, a one-line description, its extra artifacts, a run fn and an
+//! optional landmark-check fn. The CLI is generated from the registry —
+//! `repro list` prints it, `all` expands to its `in_all` members, and
+//! `--check` validates every experiment the same way: the artifact triple
+//! parses/round-trips, extra artifacts exist, and the experiment's own
+//! landmark gate passes on the metrics the run reported.
+//!
 //! Usage: `repro [--quick] [--check] [--threads N] [--out DIR] <cmd>...`
-//! where `<cmd>` is `table1 | fig1 | fig3 | fig4 | fig5 | table2 | fig8 |
-//! fig13 | fig14 | all`. `--check` validates the artifacts after each run
-//! (exposition parses, manifest round-trips, every JSONL line is
-//! well-formed JSON).
+//! where `<cmd>` is an experiment name from `repro list`, `all`, or
+//! `serve`.
 
 #![deny(deprecated)]
 
@@ -29,7 +35,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use uvf_accel::{layer_vulnerability_traced, LayerFaults, MappedNetwork, Placement};
+use uvf_accel::{
+    layer_vulnerability_traced, voltage_accuracy_power_sweep, LayerFaults, MappedNetwork,
+    ParetoConfig, Placement,
+};
 use uvf_characterize::prelude::{
     available_threads, cluster_brams, cluster_brams_traced, Campaign, CampaignEntry, CampaignJob,
     CampaignManifest, LocationStats, Probe, RecoveryPolicy, SweepConfig, ThermalCampaign,
@@ -40,6 +49,7 @@ use uvf_characterize::FvmCache;
 use uvf_faults::{FaultModel, ReadCondition, ResolvedCondition};
 use uvf_fpga::{Board, DataPattern, Millivolts, Platform, PlatformKind, Rail};
 use uvf_nn::{train, DatasetKind, Mlp, QNetwork, SyntheticData, TrainConfig, MNIST_LAYOUT};
+use uvf_power::{ChipPowerModel, FURTHER_REDUCTION_TARGET};
 use uvf_serve::{
     run_worker, CampaignServer, Endpoint, Message, ServerConfig, Supervisor, WorkerOptions,
 };
@@ -57,9 +67,139 @@ const CHIP_SEED: u64 = 21;
 const EVAL_TEMPERATURE_C: f64 = 0.0;
 const EVAL_RUN_SEED: u64 = 1;
 
-const COMMANDS: [&str; 9] = [
-    "table1", "fig1", "fig3", "fig4", "fig5", "table2", "fig8", "fig13", "fig14",
+/// Landmark gate over the metrics a run reported; invoked by `--check`
+/// after the artifact validation.
+type CheckFn = fn(&Ctx, &CmdSummary) -> Result<(), String>;
+
+/// One reproducible experiment: everything the CLI needs to parse it,
+/// run it, name its artifacts, and gate its landmarks, in one row.
+struct Experiment {
+    name: &'static str,
+    description: &'static str,
+    /// Files the run writes under `--out` beyond the standard
+    /// `.jsonl`/`.prom`/`_manifest.json` triple; `--check` asserts they
+    /// exist.
+    extra_artifacts: &'static [&'static str],
+    /// Whether `all` includes this experiment (`serve` opts out: it
+    /// spawns worker processes and owns sockets).
+    in_all: bool,
+    run: fn(&mut Ctx, &Tracer) -> Result<CmdSummary, String>,
+    check: Option<CheckFn>,
+}
+
+/// The experiment table. `parse_args`, `usage`, `repro list`, `all`
+/// expansion and dispatch all iterate this — adding an experiment is
+/// adding a row.
+const REGISTRY: &[Experiment] = &[
+    Experiment {
+        name: "table1",
+        description: "platform specifications (devices, BRAM counts, guardbands)",
+        extra_artifacts: &[],
+        in_all: true,
+        run: run_table1,
+        check: None,
+    },
+    Experiment {
+        name: "fig1",
+        description: "Vmin/Vcrash guardband discovery on all four platforms",
+        extra_artifacts: &[],
+        in_all: true,
+        run: run_fig1,
+        check: None,
+    },
+    Experiment {
+        name: "fig3",
+        description: "fault rate vs VCCBRAM, per platform",
+        extra_artifacts: &[],
+        in_all: true,
+        run: run_fig3,
+        check: None,
+    },
+    Experiment {
+        name: "fig4",
+        description: "data-pattern impact at Vcrash",
+        extra_artifacts: &[],
+        in_all: true,
+        run: run_fig4,
+        check: None,
+    },
+    Experiment {
+        name: "fig5",
+        description: "BRAM vulnerability clusters and location chi-squared battery",
+        extra_artifacts: &[],
+        in_all: true,
+        run: run_fig5,
+        check: None,
+    },
+    Experiment {
+        name: "table2",
+        description: "fault-count stability over repeated runs at Vcrash",
+        extra_artifacts: &[],
+        in_all: true,
+        run: run_table2,
+        check: None,
+    },
+    Experiment {
+        name: "fig8",
+        description: "fault rate vs die temperature at Vcrash (ITD regression)",
+        extra_artifacts: &[],
+        in_all: true,
+        run: run_fig8,
+        check: None,
+    },
+    Experiment {
+        name: "fig10",
+        description: "VCCBRAM rail power vs voltage (dynamic/static split, landmark gates)",
+        extra_artifacts: &[],
+        in_all: true,
+        run: run_fig10,
+        check: Some(check_fig10),
+    },
+    Experiment {
+        name: "fig11",
+        description: "hierarchical power breakdown at nominal / Vmin / Vcrash",
+        extra_artifacts: &["fig11_breakdown.txt"],
+        in_all: true,
+        run: run_fig11,
+        check: Some(check_fig11),
+    },
+    Experiment {
+        name: "fig12",
+        description: "voltage-accuracy-power Pareto sweep over the mapped accelerator",
+        extra_artifacts: &[],
+        in_all: true,
+        run: run_fig12,
+        check: Some(check_fig12),
+    },
+    Experiment {
+        name: "fig13",
+        description: "per-layer vulnerability of the mapped network at Vcrash",
+        extra_artifacts: &[],
+        in_all: true,
+        run: run_fig13,
+        check: None,
+    },
+    Experiment {
+        name: "fig14",
+        description: "contiguous vs ICBP placement at Vcrash",
+        extra_artifacts: &[],
+        in_all: true,
+        run: run_fig14,
+        check: None,
+    },
+    Experiment {
+        name: "serve",
+        description: "fig1 campaign fanned over worker processes (uvf-serve)",
+        extra_artifacts: &["serve_events.jsonl"],
+        in_all: false,
+        run: run_serve,
+        check: None,
+    },
 ];
+
+fn experiment(name: &str) -> Option<&'static Experiment> {
+    REGISTRY.iter().find(|e| e.name == name)
+}
 
 struct Args {
     quick: bool,
@@ -97,11 +237,14 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => args.out = PathBuf::from(it.next().ok_or("--out needs a path")?),
             "--help" | "-h" => return Err(usage()),
-            "all" => args
-                .commands
-                .extend(COMMANDS.iter().map(|c| (*c).to_string())),
-            "serve" => args.commands.push("serve".to_string()),
-            cmd if COMMANDS.contains(&cmd) => args.commands.push(cmd.to_string()),
+            "list" => args.commands.push("list".to_string()),
+            "all" => args.commands.extend(
+                REGISTRY
+                    .iter()
+                    .filter(|e| e.in_all)
+                    .map(|e| e.name.to_string()),
+            ),
+            cmd if experiment(cmd).is_some() => args.commands.push(cmd.to_string()),
             other => return Err(format!("unknown argument {other}\n{}", usage())),
         }
     }
@@ -115,12 +258,32 @@ fn parse_args() -> Result<Args, String> {
 fn usage() -> String {
     format!(
         "usage: repro [--quick] [--check] [--threads N] [--out DIR] <cmd>...\n\
-         commands: {} | serve | all\n\
+         commands: {} | list | all\n\
+         `repro list` describes every experiment; `all` runs each except serve.\n\
          serve options: [--workers N] [--kill]  (distributed campaign over\n\
-         worker processes; `all` does not include it)\n\
+         worker processes)\n\
          worker mode: repro work --endpoint <unix:PATH|tcp:HOST:PORT>",
-        COMMANDS.join(" | ")
+        REGISTRY
+            .iter()
+            .map(|e| e.name)
+            .collect::<Vec<_>>()
+            .join(" | ")
     )
+}
+
+/// `repro list`: print the registry, one experiment per line.
+fn print_registry() {
+    println!("experiments ('all' runs every row marked ●):");
+    for e in REGISTRY {
+        let marker = if e.in_all { "●" } else { " " };
+        println!("  {marker} {:<8} {}", e.name, e.description);
+        if !e.extra_artifacts.is_empty() {
+            println!(
+                "             extra artifacts: {}",
+                e.extra_artifacts.join(", ")
+            );
+        }
+    }
 }
 
 /// FNV-1a over a config-describing string: the manifest's fingerprint for
@@ -185,9 +348,10 @@ impl Sink for ProgressSink {
         let p = self.prefix;
         match e.name.as_ref() {
             "level_done" => println!(
-                "[{p}] {:>4} mV: {} faults ({}/{} levels, eta {} ms)",
+                "[{p}] {:>4} mV: {} faults, rail {} µW ({}/{} levels, eta {} ms)",
                 f_u64(e, "v_mv"),
                 f_u64(e, "faults"),
+                f_u64(e, "rail_uw"),
                 f_u64(e, "levels_done"),
                 f_u64(e, "levels_total"),
                 f_u64(e, "eta_ms"),
@@ -280,11 +444,37 @@ impl Sink for ProgressSink {
     }
 }
 
-/// What an experiment hands back for its manifest.
+/// What an experiment hands back: manifest inputs plus the named landmark
+/// metrics its registry check fn gates on under `--check`.
 struct CmdSummary {
     platform: String,
     seed: u64,
     fingerprint: u64,
+    metrics: Vec<(&'static str, f64)>,
+}
+
+impl CmdSummary {
+    fn new(platform: impl Into<String>, seed: u64, fingerprint: u64) -> CmdSummary {
+        CmdSummary {
+            platform: platform.into(),
+            seed,
+            fingerprint,
+            metrics: Vec::new(),
+        }
+    }
+
+    fn with_metrics(mut self, metrics: Vec<(&'static str, f64)>) -> CmdSummary {
+        self.metrics = metrics;
+        self
+    }
+
+    fn metric(&self, name: &str) -> Result<f64, String> {
+        self.metrics
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+            .ok_or_else(|| format!("run reported no metric {name:?}"))
+    }
 }
 
 /// The trained NN fixture, built once per process and shared by the
@@ -381,11 +571,7 @@ fn run_table1(_ctx: &mut Ctx, tracer: &Tracer) -> Result<CmdSummary, String> {
             ],
         );
     }
-    Ok(CmdSummary {
-        platform: "all".into(),
-        seed: 0,
-        fingerprint: fnv1a(text.as_bytes()),
-    })
+    Ok(CmdSummary::new("all", 0, fnv1a(text.as_bytes())))
 }
 
 /// Run a traced campaign over `kinds` and return its entries.
@@ -420,11 +606,7 @@ fn run_fig1(ctx: &mut Ctx, tracer: &Tracer) -> Result<CmdSummary, String> {
         println!("  {}", e.report);
         fingerprint ^= e.record.fingerprint();
     }
-    Ok(CmdSummary {
-        platform: "all".into(),
-        seed: 0,
-        fingerprint,
-    })
+    Ok(CmdSummary::new("all", 0, fingerprint))
 }
 
 /// Fig. 3: fault rate vs `VCCBRAM`, per platform.
@@ -451,11 +633,7 @@ fn run_fig3(ctx: &mut Ctx, tracer: &Tracer) -> Result<CmdSummary, String> {
         }
         fingerprint ^= e.record.fingerprint();
     }
-    Ok(CmdSummary {
-        platform: "all".into(),
-        seed: 0,
-        fingerprint,
-    })
+    Ok(CmdSummary::new("all", 0, fingerprint))
 }
 
 /// Fig. 4: data-pattern impact at `Vcrash`.
@@ -504,11 +682,11 @@ fn run_fig4(ctx: &mut Ctx, tracer: &Tracer) -> Result<CmdSummary, String> {
         text.push_str(&format!(";{pattern}={median}"));
         tracer.instant("pattern_done", vec![("median_faults", median.into())]);
     }
-    Ok(CmdSummary {
-        platform: kind.to_string(),
-        seed: p.default_chip_seed,
-        fingerprint: fnv1a(text.as_bytes()),
-    })
+    Ok(CmdSummary::new(
+        kind.to_string(),
+        p.default_chip_seed,
+        fnv1a(text.as_bytes()),
+    ))
 }
 
 /// Fig. 5 (plus Figs. 6–7): per-BRAM vulnerability clusters and the
@@ -578,11 +756,7 @@ fn run_fig5(_ctx: &mut Ctx, tracer: &Tracer) -> Result<CmdSummary, String> {
             clusters.k, clusters.sizes, bram.statistic, col.statistic, row.statistic,
         ));
     }
-    Ok(CmdSummary {
-        platform: "all".into(),
-        seed: CLUSTER_SEED,
-        fingerprint: fnv1a(text.as_bytes()),
-    })
+    Ok(CmdSummary::new("all", CLUSTER_SEED, fnv1a(text.as_bytes())))
 }
 
 /// Fig. 8: fault rate vs die temperature at `Vcrash` (ITD regression).
@@ -625,11 +799,11 @@ fn run_fig8(ctx: &mut Ctx, tracer: &Tracer) -> Result<CmdSummary, String> {
             report.rate_fit.slope, report.rate_fit.r2,
         ));
     }
-    Ok(CmdSummary {
-        platform: if ctx.quick { "zc702" } else { "all" }.into(),
-        seed: 0,
-        fingerprint: fnv1a(text.as_bytes()),
-    })
+    Ok(CmdSummary::new(
+        if ctx.quick { "zc702" } else { "all" },
+        0,
+        fnv1a(text.as_bytes()),
+    ))
 }
 
 /// Table II: fault-count stability over repeated runs at `Vcrash`.
@@ -681,11 +855,265 @@ fn run_table2(ctx: &mut Ctx, tracer: &Tracer) -> Result<CmdSummary, String> {
             vec![("avg_rate", avg.into()), ("sigma", sigma.into())],
         );
     }
-    Ok(CmdSummary {
-        platform: "all".into(),
-        seed: 0,
-        fingerprint: fnv1a(text.as_bytes()),
-    })
+    Ok(CmdSummary::new("all", 0, fnv1a(text.as_bytes())))
+}
+
+/// Fig. 10: `VCCBRAM` rail power down the voltage ladder, with the
+/// dynamic/static split. Pure model evaluation — cheap enough that quick
+/// and paper-scale modes are identical.
+fn run_fig10(_ctx: &mut Ctx, tracer: &Tracer) -> Result<CmdSummary, String> {
+    let kind = PlatformKind::Vc707;
+    let model = ChipPowerModel::for_platform(kind);
+    let spec = model.rail(Rail::Vccbram);
+    let mut span = tracer.span_with("power_ladder", vec![("platform", kind.to_string().into())]);
+    println!("Fig. 10 — VCCBRAM rail power vs voltage ({kind}, 25 °C)");
+    let mut text = format!("fig10:{kind}");
+    let mut v = spec.landmarks.nominal;
+    while v.0 >= spec.landmarks.vcrash.0 {
+        let s = spec.sample(v, 25.0);
+        let mark = if v == spec.landmarks.nominal {
+            "  <- nominal"
+        } else if v == spec.landmarks.vmin {
+            "  <- Vmin"
+        } else if v == spec.landmarks.vcrash {
+            "  <- Vcrash"
+        } else {
+            ""
+        };
+        println!(
+            "  {:>4} mV  {:>9} µW  (dynamic {:.4} W, static {:.4} W){mark}",
+            v.0,
+            s.total_uw(),
+            s.dynamic_w,
+            s.static_w,
+        );
+        tracer.instant(
+            "power_level",
+            vec![
+                ("v_mv", v.0.into()),
+                ("total_uw", s.total_uw().into()),
+                ("dynamic_w", s.dynamic_w.into()),
+                ("static_w", s.static_w.into()),
+            ],
+        );
+        tracer.gauge("rail_power_uw", s.total_uw());
+        text.push_str(&format!(";{}={}", v.0, s.total_uw()));
+        v = Millivolts(v.0 - 10);
+    }
+    let share = model.rail_share_nominal(Rail::Vccbram);
+    let reduction = spec.reduction_at(spec.landmarks.vmin);
+    let further = spec.further_reduction(spec.landmarks.vmin, spec.landmarks.vcrash);
+    println!(
+        "  landmarks: {:.1} % of chip power at nominal, {reduction:.1}x rail reduction at Vmin, \
+         {:.1} % further at Vcrash",
+        share * 100.0,
+        further * 100.0,
+    );
+    span.field("vmin_reduction", reduction.into());
+    Ok(
+        CmdSummary::new(kind.to_string(), 0, fnv1a(text.as_bytes())).with_metrics(vec![
+            ("bram_share_nominal", share),
+            ("vmin_reduction", reduction),
+            ("vcrash_further_reduction", further),
+        ]),
+    )
+}
+
+/// `--check` gate for fig10: the §V-B headline numbers.
+fn check_fig10(_ctx: &Ctx, s: &CmdSummary) -> Result<(), String> {
+    let share = s.metric("bram_share_nominal")?;
+    if (share - 0.241).abs() > 1e-9 {
+        return Err(format!("BRAM rail share {share}, paper says 24.1 %"));
+    }
+    let reduction = s.metric("vmin_reduction")?;
+    if reduction <= 10.0 {
+        return Err(format!(
+            "rail reduction at Vmin {reduction:.2}x, paper says >10x"
+        ));
+    }
+    let further = s.metric("vcrash_further_reduction")?;
+    if (further - FURTHER_REDUCTION_TARGET).abs() > 0.05 {
+        return Err(format!(
+            "further reduction at Vcrash {further:.3}, expected ~0.40"
+        ));
+    }
+    println!(
+        "  check ok: share {:.1} %, Vmin reduction {reduction:.1}x, further {:.1} %",
+        share * 100.0,
+        further * 100.0,
+    );
+    Ok(())
+}
+
+/// Fig. 11: the VTR-style hierarchical power breakdown at the three
+/// operating points, written to `fig11_breakdown.txt`.
+fn run_fig11(ctx: &mut Ctx, tracer: &Tracer) -> Result<CmdSummary, String> {
+    let kind = PlatformKind::Vc707;
+    let model = ChipPowerModel::for_platform(kind);
+    let spec = model.rail(Rail::Vccbram);
+    let points = [
+        ("nominal", spec.landmarks.nominal),
+        ("vmin", spec.landmarks.vmin),
+        ("vcrash", spec.landmarks.vcrash),
+    ];
+    println!("Fig. 11 — hierarchical power breakdown ({kind}, VCCBRAM underscaled)");
+    let mut report_text = String::new();
+    let mut share_nominal = 0.0;
+    let mut total_nominal = 0.0;
+    for (label, v) in points {
+        let _span = tracer.span_with("breakdown", vec![("point", label.into())]);
+        let b = model.breakdown(
+            |r| {
+                if r == Rail::Vccbram {
+                    v
+                } else {
+                    Millivolts::NOMINAL
+                }
+            },
+            25.0,
+        );
+        let share = b.share("VCCBRAM").ok_or("report lost the VCCBRAM row")?;
+        if label == "nominal" {
+            share_nominal = share;
+            total_nominal = b.total_w();
+        }
+        println!(
+            "  {label:<8} ({:>4} mV)  total {:>7.4} W  VCCBRAM share {:.4}",
+            v.0,
+            b.total_w(),
+            share,
+        );
+        tracer.instant(
+            "breakdown_done",
+            vec![
+                ("point", label.into()),
+                ("total_w", b.total_w().into()),
+                ("bram_share", share.into()),
+            ],
+        );
+        report_text.push_str(&format!("== {label}: VCCBRAM at {} mV ==\n", v.0));
+        report_text.push_str(&b.render());
+        report_text.push('\n');
+    }
+    let report_path = ctx.out.join("fig11_breakdown.txt");
+    std::fs::write(&report_path, &report_text).map_err(|e| format!("write breakdown: {e}"))?;
+    println!("  wrote {}", report_path.display());
+    Ok(
+        CmdSummary::new(kind.to_string(), 0, fnv1a(report_text.as_bytes())).with_metrics(vec![
+            ("bram_share_nominal", share_nominal),
+            ("total_nominal_w", total_nominal),
+        ]),
+    )
+}
+
+/// `--check` gate for fig11: the breakdown's own nominal landmarks.
+fn check_fig11(_ctx: &Ctx, s: &CmdSummary) -> Result<(), String> {
+    let share = s.metric("bram_share_nominal")?;
+    if (share - 0.241).abs() > 1e-9 {
+        return Err(format!(
+            "nominal breakdown share {share}, paper says 24.1 %"
+        ));
+    }
+    let total = s.metric("total_nominal_w")?;
+    if (total - 10.0).abs() > 1e-9 {
+        return Err(format!(
+            "nominal chip total {total} W, model calibrates to 10 W"
+        ));
+    }
+    println!("  check ok: nominal breakdown 24.1 % of {total} W");
+    Ok(())
+}
+
+/// Fig. 12: the voltage–accuracy–power Pareto sweep over the mapped
+/// accelerator, with the computed knee.
+fn run_fig12(ctx: &mut Ctx, tracer: &Tracer) -> Result<CmdSummary, String> {
+    let quick = ctx.quick;
+    let fx = ctx.fixture(tracer);
+    let cfg = ParetoConfig::vc707_default(CHIP_SEED, EVAL_RUN_SEED, EVAL_TEMPERATURE_C);
+    let mut span = tracer.span_with("pareto_sweep", vec![("chip_seed", CHIP_SEED.into())]);
+    let sweep = voltage_accuracy_power_sweep(&cfg, &fx.qnet, &fx.weights, &fx.data)
+        .map_err(|e| format!("pareto sweep: {e:?}"))?;
+    println!("Fig. 12 — voltage–accuracy–power Pareto (VC707 chip {CHIP_SEED}, cold die)");
+    let mut text = format!("fig12:q={quick}:net={NET_SEED}:chip={CHIP_SEED}:run={EVAL_RUN_SEED}");
+    for (i, p) in sweep.points.iter().enumerate() {
+        let on_frontier = sweep.frontier.contains(&i);
+        let mark = match (on_frontier, i == sweep.knee) {
+            (_, true) => "  <- knee",
+            (true, false) => "  (frontier)",
+            (false, false) => "",
+        };
+        println!(
+            "  {:>4} mV  {:>9} µW  error {:.4}{mark}",
+            p.v_mv, p.rail_uw, p.error,
+        );
+        tracer.instant(
+            "pareto_point",
+            vec![
+                ("v_mv", p.v_mv.into()),
+                ("rail_uw", p.rail_uw.into()),
+                ("error", p.error.into()),
+                ("frontier", on_frontier.into()),
+            ],
+        );
+        text.push_str(&format!(";{}={}/{:.6}", p.v_mv, p.rail_uw, p.error));
+    }
+    let nominal = &sweep.points[0];
+    let knee = sweep.knee_point();
+    println!(
+        "  knee: {} mV at {:.4} error — {:.1}x below nominal rail power",
+        knee.v_mv,
+        knee.error,
+        nominal.rail_uw as f64 / knee.rail_uw as f64,
+    );
+    tracer.instant(
+        "pareto_knee",
+        vec![
+            ("v_mv", knee.v_mv.into()),
+            ("rail_uw", knee.rail_uw.into()),
+            ("error", knee.error.into()),
+        ],
+    );
+    span.field("frontier_len", sweep.frontier.len().into());
+    Ok(CmdSummary::new(
+        PlatformKind::Vc707.to_string(),
+        CHIP_SEED,
+        fnv1a(text.as_bytes()),
+    )
+    .with_metrics(vec![
+        ("knee_v_mv", f64::from(knee.v_mv)),
+        ("knee_error", knee.error),
+        ("knee_rail_uw", knee.rail_uw as f64),
+        ("nominal_error", nominal.error),
+        ("nominal_rail_uw", nominal.rail_uw as f64),
+        ("frontier_len", sweep.frontier.len() as f64),
+    ]))
+}
+
+/// `--check` gate for fig12: the knee is pinned per fixture (the quick
+/// net is more fault-tolerant, so its frontier collapses further down
+/// the ladder) and must sit >10x below nominal rail power at
+/// near-nominal accuracy.
+fn check_fig12(ctx: &Ctx, s: &CmdSummary) -> Result<(), String> {
+    let knee_v = s.metric("knee_v_mv")?;
+    let expected = if ctx.quick { 540.0 } else { 550.0 };
+    if knee_v != expected {
+        return Err(format!("knee at {knee_v} mV, pinned at {expected} mV"));
+    }
+    let ratio = s.metric("nominal_rail_uw")? / s.metric("knee_rail_uw")?;
+    if ratio <= 10.0 {
+        return Err(format!("knee only {ratio:.1}x below nominal rail power"));
+    }
+    let knee_error = s.metric("knee_error")?;
+    let nominal_error = s.metric("nominal_error")?;
+    if knee_error > nominal_error + 0.01 {
+        return Err(format!(
+            "knee error {knee_error:.4} too far above nominal {nominal_error:.4}"
+        ));
+    }
+    println!(
+        "  check ok: knee {knee_v} mV, {ratio:.1}x power cut, error {knee_error:.4} (nominal {nominal_error:.4})"
+    );
+    Ok(())
 }
 
 /// Fig. 13: per-layer vulnerability of the mapped network at `Vcrash`.
@@ -718,14 +1146,14 @@ fn run_fig13(ctx: &mut Ctx, tracer: &Tracer) -> Result<CmdSummary, String> {
         };
         println!("  layer {l}: {err:.4}{mark}");
     }
-    Ok(CmdSummary {
-        platform: PlatformKind::Vc707.to_string(),
-        seed: CHIP_SEED,
-        fingerprint: fnv1a(
+    Ok(CmdSummary::new(
+        PlatformKind::Vc707.to_string(),
+        CHIP_SEED,
+        fnv1a(
             format!("fig13:q={quick}:net={NET_SEED}:chip={CHIP_SEED}:run={EVAL_RUN_SEED}")
                 .as_bytes(),
         ),
-    })
+    ))
 }
 
 /// Fig. 14: contiguous vs ICBP placement at `Vcrash`.
@@ -765,14 +1193,14 @@ fn run_fig14(ctx: &mut Ctx, tracer: &Tracer) -> Result<CmdSummary, String> {
     println!("  nominal (clean read-back)     {:.4}", report.baseline);
     println!("  Vcrash, contiguous placement  {:.4}", report.degraded);
     println!("  Vcrash, ICBP (layer {dominant} moved)  {icbp:.4}");
-    Ok(CmdSummary {
-        platform: PlatformKind::Vc707.to_string(),
-        seed: CHIP_SEED,
-        fingerprint: fnv1a(
+    Ok(CmdSummary::new(
+        PlatformKind::Vc707.to_string(),
+        CHIP_SEED,
+        fnv1a(
             format!("fig14:q={quick}:net={NET_SEED}:chip={CHIP_SEED}:run={EVAL_RUN_SEED}")
                 .as_bytes(),
         ),
-    })
+    ))
 }
 
 /// `serve`: the Fig.-1 guardband campaign fanned over worker *processes*
@@ -962,11 +1390,7 @@ fn run_serve(ctx: &mut Ctx, tracer: &Tracer) -> Result<CmdSummary, String> {
         println!("  check ok: distributed campaign is bit-identical to the in-process runner");
         tracer.instant("serve_check_ok", vec![("jobs", jobs.len().into())]);
     }
-    Ok(CmdSummary {
-        platform: "all".into(),
-        seed: 0,
-        fingerprint,
-    })
+    Ok(CmdSummary::new("all", 0, fingerprint))
 }
 
 /// Validate the artifact triple `--check` style; error strings on failure.
@@ -992,17 +1416,13 @@ fn check_artifacts(
 }
 
 fn run_command(cmd: &str, ctx: &mut Ctx) -> Result<(), String> {
+    let exp = experiment(cmd).ok_or_else(|| format!("unknown command {cmd}"))?;
     std::fs::create_dir_all(&ctx.out).map_err(|e| format!("create {}: {e}", ctx.out.display()))?;
     let jsonl_path = ctx.out.join(format!("{cmd}.jsonl"));
     let jsonl = Arc::new(JsonlSink::create(&jsonl_path).map_err(|e| format!("event log: {e}"))?);
     let prom = Arc::new(PrometheusSink::new());
     let mem = Arc::new(MemorySink::new(16 * 1024));
-    let prefix = COMMANDS
-        .iter()
-        .find(|c| **c == cmd)
-        .copied()
-        .unwrap_or("serve");
-    let progress = Arc::new(ProgressSink::new(prefix));
+    let progress = Arc::new(ProgressSink::new(exp.name));
     let tracer = Tracer::builder()
         .sink(jsonl.clone())
         .sink(prom.clone())
@@ -1011,19 +1431,7 @@ fn run_command(cmd: &str, ctx: &mut Ctx) -> Result<(), String> {
         .build();
 
     let t0 = Instant::now();
-    let summary = match cmd {
-        "table1" => run_table1(ctx, &tracer),
-        "fig1" => run_fig1(ctx, &tracer),
-        "fig3" => run_fig3(ctx, &tracer),
-        "fig4" => run_fig4(ctx, &tracer),
-        "fig5" => run_fig5(ctx, &tracer),
-        "table2" => run_table2(ctx, &tracer),
-        "fig8" => run_fig8(ctx, &tracer),
-        "fig13" => run_fig13(ctx, &tracer),
-        "fig14" => run_fig14(ctx, &tracer),
-        "serve" => run_serve(ctx, &tracer),
-        other => Err(format!("unknown command {other}")),
-    }?;
+    let summary = (exp.run)(ctx, &tracer)?;
     tracer.flush();
     // FVM-cache counters surface in the exposition and manifest via a
     // prom-only tracer: the .jsonl event log stays byte-stable across
@@ -1035,7 +1443,7 @@ fn run_command(cmd: &str, ctx: &mut Ctx) -> Result<(), String> {
     let manifest = Manifest {
         name: cmd.to_string(),
         config_fingerprint: summary.fingerprint,
-        platform: summary.platform,
+        platform: summary.platform.clone(),
         seed: summary.seed,
         event_log: Some(jsonl_path.display().to_string()),
         events: progress.total(),
@@ -1060,6 +1468,15 @@ fn run_command(cmd: &str, ctx: &mut Ctx) -> Result<(), String> {
     );
     if ctx.check {
         check_artifacts(&prom_text, &manifest, &manifest_path, &jsonl_path)?;
+        for artifact in exp.extra_artifacts {
+            let path = ctx.out.join(artifact);
+            if !path.exists() {
+                return Err(format!("missing extra artifact {}", path.display()));
+            }
+        }
+        if let Some(check) = exp.check {
+            check(ctx, &summary)?;
+        }
     }
     Ok(())
 }
@@ -1126,6 +1543,11 @@ fn main() -> ExitCode {
         fixture: None,
     };
     for cmd in &args.commands {
+        if cmd == "list" {
+            print_registry();
+            println!();
+            continue;
+        }
         if let Err(msg) = run_command(cmd, &mut ctx) {
             eprintln!("repro {cmd}: {msg}");
             return ExitCode::FAILURE;

@@ -32,6 +32,7 @@ use std::sync::Arc;
 use uvf_faults::{run_seed, FaultModel, ReadCondition, ResolvedCondition};
 use uvf_fpga::seedmix::mix;
 use uvf_fpga::{Board, BoardError, BramId, Millivolts};
+use uvf_power::ChipPowerModel;
 use uvf_trace::Tracer;
 
 /// Simulated cost of one write/read-back run.
@@ -230,6 +231,11 @@ pub struct Harness {
     /// Passive observability: events mirror what the harness does and
     /// never influence it, so records are bit-identical with tracing on.
     tracer: Tracer,
+    /// Analytic rail-power model for the platform under test; sampled once
+    /// per level into [`LevelRecord::rail_uw`] and mirrored onto the board
+    /// so `READ_POUT` answers. Pure in (rail, voltage, temperature), so it
+    /// never perturbs the sweep record's fault data.
+    power: Arc<ChipPowerModel>,
 }
 
 impl Harness {
@@ -247,6 +253,8 @@ impl Harness {
         let mut board = board;
         board.set_noise_band_mv(cfg.noise_band_mv);
         board.set_temperature_c(cfg.temperature_c);
+        let power = Arc::new(ChipPowerModel::for_platform(board.platform().kind));
+        board.attach_power_model(power.clone());
         Ok(Harness {
             board,
             model,
@@ -263,6 +271,7 @@ impl Harness {
             engine: ScanEngine::default(),
             level_counts: None,
             tracer: Tracer::disabled(),
+            power,
         })
     }
 
@@ -421,8 +430,17 @@ impl Harness {
                 return Ok(HarnessStatus::Paused { runs_done: done });
             }
             if self.record.levels.len() == level_idx {
+                let rail_uw = self
+                    .power
+                    .sample(
+                        self.record.rail,
+                        ladder[level_idx],
+                        self.record.temperature_c,
+                    )
+                    .total_uw();
                 self.record.levels.push(LevelRecord {
                     v_mv: ladder[level_idx].0,
+                    rail_uw,
                     crashed: false,
                     runs: Vec::new(),
                 });
@@ -470,11 +488,18 @@ impl Harness {
                     "faults",
                     level.runs.iter().map(|r| r.faults).sum::<u64>().into(),
                 ),
+                ("rail_uw", level.rail_uw.into()),
                 ("levels_done", done.into()),
                 ("levels_total", ladder.len().into()),
                 ("eta_ms", eta_ms.into()),
             ],
         );
+        // Instantaneous rail draw at this level, plus the energy the level's
+        // runs spent at it (µW × ms → nJ, /1000 → µJ; exact integer math).
+        self.tracer.gauge("rail_power_uw", level.rail_uw);
+        let level_ms = u64::from(self.record.runs_per_level) * MS_PER_RUN;
+        self.tracer
+            .counter("rail_energy_uj", level.rail_uw * level_ms / 1000);
     }
 
     fn emit_sweep_done(&self, sweep_span: &mut uvf_trace::Span) {

@@ -16,7 +16,19 @@ use uvf_fpga::seedmix::mix;
 use uvf_fpga::{DataPattern, Millivolts, PlatformKind, Rail};
 
 /// Schema version of the checkpoint/record JSON.
-pub const RECORD_VERSION: u64 = 1;
+///
+/// History:
+/// * **v1** — original schema, no explicit version field on the record
+///   itself (only checkpoints carried one).
+/// * **v2** — the record document leads with `version`, and every level
+///   carries `rail_uw`: the modeled draw of the swept rail at that level
+///   in integer microwatts (`uvf-power`, quantized at the
+///   `uvf_fpga::RailDraw` seam).
+///
+/// Decoders reject any other version loudly ([`RecordError::Schema`]);
+/// a checkpoint from an older build must never resume into a silently
+/// reinterpreted record.
+pub const RECORD_VERSION: u64 = 2;
 
 /// One read-out run at one voltage level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,6 +42,10 @@ pub struct RunRecord {
 #[derive(Debug, Clone, PartialEq)]
 pub struct LevelRecord {
     pub v_mv: u32,
+    /// Modeled draw of the swept rail at this level, integer microwatts
+    /// (schema v2). A pure function of `(platform, rail, v_mv,
+    /// temperature_c)`, so resume recomputes the identical value.
+    pub rail_uw: u64,
     /// `true` when the sweep ended here: the board hung at this level and
     /// retries were exhausted, so the level's data is partial.
     pub crashed: bool,
@@ -180,6 +196,7 @@ impl SweepRecord {
     #[must_use]
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
+            ("version", Json::UInt(RECORD_VERSION)),
             ("platform", Json::Str(self.platform.to_string())),
             ("rail", Json::Str(self.rail.to_string())),
             ("pattern", Json::Str(self.pattern.to_string())),
@@ -198,6 +215,7 @@ impl SweepRecord {
                         .map(|l| {
                             Json::obj(vec![
                                 ("v_mv", Json::UInt(u64::from(l.v_mv))),
+                                ("rail_uw", Json::UInt(l.rail_uw)),
                                 ("crashed", Json::Bool(l.crashed)),
                                 (
                                     "runs",
@@ -256,6 +274,20 @@ impl SweepRecord {
     }
 
     pub fn from_json(v: &Json) -> Result<SweepRecord, RecordError> {
+        match v.get("version").and_then(Json::as_u64) {
+            Some(RECORD_VERSION) => {}
+            Some(other) => {
+                return Err(schema(&format!(
+                    "unsupported record schema version {other} (this build reads v{RECORD_VERSION})"
+                )))
+            }
+            None => {
+                return Err(schema(&format!(
+                    "record has no schema version (pre-v2 format); \
+                     this build reads v{RECORD_VERSION} — re-run the sweep"
+                )))
+            }
+        }
         let platform: PlatformKind = req_str(v, "platform")?
             .parse()
             .map_err(|_| schema("unknown platform"))?;
@@ -285,6 +317,7 @@ impl SweepRecord {
                     .collect::<Result<Vec<_>, RecordError>>()?;
                 Ok(LevelRecord {
                     v_mv: req_u32(l, "v_mv")?,
+                    rail_uw: req_u64(l, "rail_uw")?,
                     crashed: l
                         .get("crashed")
                         .and_then(Json::as_bool)
@@ -647,11 +680,13 @@ mod tests {
             levels: vec![
                 LevelRecord {
                     v_mv: 1000,
+                    rail_uw: 2_410_000,
                     crashed: false,
                     runs: vec![RunRecord { run: 0, faults: 0 }],
                 },
                 LevelRecord {
                     v_mv: 610,
+                    rail_uw: 118_100,
                     crashed: false,
                     runs: vec![
                         RunRecord { run: 0, faults: 1 },
@@ -739,12 +774,76 @@ mod tests {
         let even = LevelRecord {
             v_mv: 600,
             crashed: false,
+            rail_uw: 130_000,
             runs: vec![
                 RunRecord { run: 0, faults: 2 },
                 RunRecord { run: 1, faults: 4 },
             ],
         };
         assert_eq!(even.median_faults(), 3.0);
+    }
+
+    #[test]
+    fn record_json_leads_with_the_schema_version() {
+        let text = sample_record().to_json_string();
+        assert!(
+            text.starts_with("{\"version\":2,"),
+            "record must be self-describing: {}",
+            &text[..40.min(text.len())]
+        );
+    }
+
+    #[test]
+    fn v1_record_without_version_is_rejected_loudly() {
+        // A v1 document has no version field and no rail_uw on levels.
+        let v2 = sample_record().to_json_string();
+        let v1 = v2
+            .replace("\"version\":2,", "")
+            .replace("\"rail_uw\":2410000,", "")
+            .replace("\"rail_uw\":118100,", "");
+        let err = SweepRecord::from_json(&Json::parse(&v1).unwrap()).unwrap_err();
+        match err {
+            RecordError::Schema(msg) => {
+                assert!(msg.contains("no schema version"), "{msg}");
+            }
+            other => panic!("expected a schema error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn future_record_version_is_rejected_loudly() {
+        let text = sample_record()
+            .to_json_string()
+            .replacen("\"version\":2", "\"version\":3", 1);
+        let err = SweepRecord::from_json(&Json::parse(&text).unwrap()).unwrap_err();
+        match err {
+            RecordError::Schema(msg) => {
+                assert!(msg.contains("unsupported record schema version 3"), "{msg}");
+            }
+            other => panic!("expected a schema error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn v1_checkpoint_cannot_resume_into_this_build() {
+        // Resume across a schema bump must fail loudly, never corrupt:
+        // the outer checkpoint version gate fires before the record is
+        // even looked at.
+        let cp = Checkpoint {
+            record: sample_record(),
+            attempt: 0,
+            clock_ms: 5,
+        };
+        let v1_text = cp
+            .to_json_string()
+            .replacen("\"version\":2", "\"version\":1", 1);
+        let err = Checkpoint::parse(&v1_text).unwrap_err();
+        match err {
+            RecordError::Schema(msg) => {
+                assert!(msg.contains("unsupported checkpoint version 1"), "{msg}");
+            }
+            other => panic!("expected a schema error, got {other}"),
+        }
     }
 
     #[test]

@@ -7,29 +7,37 @@
 //! platforms matters more here than statistical luxury — every draw is
 //! part of the die identity that checkpoint resume must reproduce.
 
-use uvf_fpga::seedmix::{mix64, unit_f64, unit_open_f64};
+use uvf_fpga::seedmix::{self, mix64, unit_f64, unit_open_f64, GAMMA};
 
 /// Sequential SplitMix64 stream (for draws that are naturally ordered,
 /// e.g. the spatial-field harmonic coefficients).
+///
+/// Historically this crate's private copy ran the full `mix64` (which
+/// pre-adds [`GAMMA`]) on an already-incremented state, so its stream for
+/// seed `s` equals the canonical [`seedmix::SplitMix64`] stream for seed
+/// `s + GAMMA`. Every persisted die identity was drawn from that stream,
+/// so the wrapper keeps the offset forever; a regression test below pins
+/// the exact words.
 #[derive(Debug, Clone)]
 pub struct SplitMix64 {
-    state: u64,
+    inner: seedmix::SplitMix64,
 }
 
 impl SplitMix64 {
     #[must_use]
     pub fn new(seed: u64) -> SplitMix64 {
-        SplitMix64 { state: seed }
+        SplitMix64 {
+            inner: seedmix::SplitMix64::new(seed.wrapping_add(GAMMA)),
+        }
     }
 
     pub fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        mix64(self.state)
+        self.inner.next_u64()
     }
 
     /// Uniform in `[0, 1)`.
     pub fn next_f64(&mut self) -> f64 {
-        unit_f64(self.next_u64())
+        self.inner.next_f64()
     }
 }
 
@@ -40,7 +48,7 @@ impl SplitMix64 {
 #[must_use]
 pub fn standard_normal(h: u64) -> f64 {
     let u1 = unit_open_f64(h);
-    let u2 = unit_f64(mix64(h ^ 0x9e37_79b9_7f4a_7c15));
+    let u2 = unit_f64(mix64(h ^ GAMMA));
     (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
 }
 
@@ -48,6 +56,27 @@ pub fn standard_normal(h: u64) -> f64 {
 mod tests {
     use super::*;
     use uvf_fpga::seedmix::mix;
+
+    /// Regression pin: die identities (spatial-field coefficients, weak
+    /// cell draws) depend on this exact stream. These words were captured
+    /// from the pre-dedup private implementation.
+    #[test]
+    fn stream_is_bit_identical_to_the_historical_private_impl() {
+        let mut r = SplitMix64::new(42);
+        assert_eq!(r.next_u64(), 0x28ef_e333_b266_f103);
+        assert_eq!(r.next_u64(), 0x4752_6757_130f_9f52);
+        assert_eq!(r.next_u64(), 0x581c_e1ff_0e4a_e394);
+        assert_eq!(r.next_u64(), 0x09bc_585a_2448_23f2);
+    }
+
+    #[test]
+    fn stream_equals_canonical_stream_at_offset_seed() {
+        let mut ours = SplitMix64::new(42);
+        let mut canonical = seedmix::SplitMix64::new(42u64.wrapping_add(GAMMA));
+        for _ in 0..100 {
+            assert_eq!(ours.next_u64(), canonical.next_u64());
+        }
+    }
 
     #[test]
     fn stream_is_deterministic() {

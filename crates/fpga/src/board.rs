@@ -12,9 +12,11 @@ use crate::error::{BoardError, PmbusError};
 use crate::floorplan::Floorplan;
 use crate::platform::{Platform, BRAM_ROWS};
 use crate::pmbus::{PmbusCommand, PmbusResponse};
+use crate::power::RailDraw;
 use crate::regulator::Regulator;
 use crate::seedmix;
 use crate::voltage::{Millivolts, Rail};
+use std::sync::Arc;
 
 /// Liveness of the board.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,6 +48,9 @@ pub struct Board {
     /// operates *near* (but above) the boundary.
     noise_band_mv: u32,
     power_cycles: u32,
+    /// Electrical-draw model answering `READ_POUT` (none attached by
+    /// default; the characterization stack attaches one per platform).
+    power_model: Option<Arc<dyn RailDraw>>,
 }
 
 impl Board {
@@ -69,7 +74,30 @@ impl Board {
             state: BoardState::Operational,
             noise_band_mv: 0,
             power_cycles: 0,
+            power_model: None,
         }
+    }
+
+    /// Attach (or replace) the electrical-draw model behind `READ_POUT`
+    /// and [`Board::rail_power_uw`].
+    pub fn attach_power_model(&mut self, model: Arc<dyn RailDraw>) {
+        self.power_model = Some(model);
+    }
+
+    #[must_use]
+    pub fn has_power_model(&self) -> bool {
+        self.power_model.is_some()
+    }
+
+    /// Modeled draw of `rail` at its current setpoint and die temperature,
+    /// in microwatts. `None` without an attached model. Host-side
+    /// bookkeeping like [`Board::rail_mv`] — the experiment driver itself
+    /// goes through `READ_POUT`.
+    #[must_use]
+    pub fn rail_power_uw(&self, rail: Rail) -> Option<u64> {
+        self.power_model
+            .as_ref()
+            .map(|m| m.rail_uw(rail, self.regulator.vout(rail), self.temperature_c))
     }
 
     #[must_use]
@@ -182,6 +210,12 @@ impl Board {
             }
             PmbusCommand::ReadVout { rail } => Ok(PmbusResponse::Vout(self.regulator.vout(rail))),
             PmbusCommand::ReadTemperature2 => Ok(PmbusResponse::TemperatureC(self.temperature_c)),
+            PmbusCommand::ReadPout { rail } => match self.rail_power_uw(rail) {
+                Some(uw) => Ok(PmbusResponse::PowerUw(uw)),
+                None => Err(PmbusError::UnsupportedCommand {
+                    command: "READ_POUT: no power model attached",
+                }),
+            },
             PmbusCommand::ClearFaults => Ok(PmbusResponse::Ack),
         }
     }
@@ -440,6 +474,33 @@ mod tests {
         for run in 0..100 {
             assert!(!b.apply_supply_noise(Rail::Vccbram, run, 0), "above band");
         }
+    }
+
+    #[test]
+    fn read_pout_answers_through_the_attached_model() {
+        #[derive(Debug)]
+        struct Flat;
+        impl crate::power::RailDraw for Flat {
+            fn rail_uw(&self, _rail: Rail, v: Millivolts, _t: f64) -> u64 {
+                u64::from(v.0) * 1000
+            }
+        }
+        let mut b = vc707();
+        let cmd = PmbusCommand::ReadPout {
+            rail: Rail::Vccbram,
+        };
+        assert!(
+            matches!(b.pmbus(cmd), Err(PmbusError::UnsupportedCommand { .. })),
+            "no model attached yet"
+        );
+        assert_eq!(b.rail_power_uw(Rail::Vccbram), None);
+        b.attach_power_model(std::sync::Arc::new(Flat));
+        assert_eq!(b.pmbus(cmd).unwrap().pout_uw().unwrap(), 1_000_000);
+        b.set_rail_mv(Rail::Vccbram, Millivolts(610)).unwrap();
+        assert_eq!(b.rail_power_uw(Rail::Vccbram), Some(610_000));
+        // A hung board answers nothing, READ_POUT included.
+        b.set_rail_mv(Rail::Vccbram, Millivolts(500)).ok();
+        assert_eq!(b.pmbus(cmd), Err(PmbusError::NoResponse));
     }
 
     #[test]

@@ -19,6 +19,7 @@ pub mod error;
 pub mod floorplan;
 pub mod platform;
 pub mod pmbus;
+pub mod power;
 pub mod regulator;
 pub mod seedmix;
 pub mod voltage;
@@ -29,5 +30,6 @@ pub use error::{BoardError, ParseNameError, PmbusError};
 pub use floorplan::{Floorplan, Site};
 pub use platform::{Platform, PlatformKind, BRAM_BITS, BRAM_ROWS, BRAM_WORD_BITS};
 pub use pmbus::{PmbusCommand, PmbusResponse};
+pub use power::RailDraw;
 pub use regulator::{Regulator, VID_STEP_MV, VOUT_MAX, VOUT_MIN};
 pub use voltage::{Millivolts, Rail, RailLandmarks, VoltageRegion};

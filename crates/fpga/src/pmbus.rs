@@ -19,6 +19,10 @@ pub enum PmbusCommand {
     ReadVout { rail: Rail },
     /// `READ_TEMPERATURE_2` — external (die) temperature sensor.
     ReadTemperature2,
+    /// `READ_POUT` — a rail's modeled output power. Answered through the
+    /// board's attached [`RailDraw`](crate::power::RailDraw) model; a
+    /// board without one treats the command as unsupported.
+    ReadPout { rail: Rail },
     /// `CLEAR_FAULTS` — acknowledged and ignored by the model (the real
     /// bring-up scripts issue it; it has no observable effect here).
     ClearFaults,
@@ -32,6 +36,7 @@ impl PmbusCommand {
             PmbusCommand::VoutCommand { .. } => "VOUT_COMMAND",
             PmbusCommand::ReadVout { .. } => "READ_VOUT",
             PmbusCommand::ReadTemperature2 => "READ_TEMPERATURE_2",
+            PmbusCommand::ReadPout { .. } => "READ_POUT",
             PmbusCommand::ClearFaults => "CLEAR_FAULTS",
         }
     }
@@ -46,6 +51,8 @@ pub enum PmbusResponse {
     Vout(Millivolts),
     /// `READ_TEMPERATURE_2` reply in °C.
     TemperatureC(f64),
+    /// `READ_POUT` reply in integer microwatts.
+    PowerUw(u64),
 }
 
 impl PmbusResponse {
@@ -55,6 +62,16 @@ impl PmbusResponse {
             PmbusResponse::Vout(v) => Ok(v),
             _ => Err(PmbusError::UnsupportedCommand {
                 command: "expected READ_VOUT reply",
+            }),
+        }
+    }
+
+    /// Convenience accessor for `READ_POUT` replies.
+    pub fn pout_uw(self) -> Result<u64, PmbusError> {
+        match self {
+            PmbusResponse::PowerUw(uw) => Ok(uw),
+            _ => Err(PmbusError::UnsupportedCommand {
+                command: "expected READ_POUT reply",
             }),
         }
     }

@@ -1,0 +1,50 @@
+//! Rail electrical-draw hook.
+//!
+//! The board itself knows nothing about watts — power is a *model* fitted
+//! elsewhere (`uvf-power`) to the paper's §V-B landmarks. This module is
+//! the seam between the two: a board can carry any [`RailDraw`]
+//! implementation, and the PMBus `READ_POUT` command answers through it,
+//! the same way the real UCD9248 regulator reports per-page output power.
+//!
+//! Keeping only the trait here (dependency inversion) lets `uvf-power`
+//! depend on `uvf-fpga` for voltage/platform types without creating a
+//! crate cycle.
+
+use crate::voltage::{Millivolts, Rail};
+use std::fmt;
+
+/// A model of the electrical draw of each supply rail.
+///
+/// Implementations must be pure: the same `(rail, v, temperature_c)`
+/// always yields the same reading, never consulting a clock or ambient
+/// randomness — sweep records embed these values, and checkpoint-resume
+/// bit-identity extends to them.
+///
+/// The unit is integer **microwatts**: every consumer that persists or
+/// exposes power (sweep records, the Prometheus exposition) is
+/// integer-only, so the quantization happens once, here at the seam.
+pub trait RailDraw: fmt::Debug + Send + Sync {
+    /// Modeled draw of `rail` at programmed voltage `v` and die
+    /// temperature `temperature_c`, in microwatts.
+    fn rail_uw(&self, rail: Rail, v: Millivolts, temperature_c: f64) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct Flat;
+
+    impl RailDraw for Flat {
+        fn rail_uw(&self, _rail: Rail, v: Millivolts, _t: f64) -> u64 {
+            u64::from(v.0) * 1000
+        }
+    }
+
+    #[test]
+    fn trait_object_is_usable_behind_arc() {
+        let model: std::sync::Arc<dyn RailDraw> = std::sync::Arc::new(Flat);
+        assert_eq!(model.rail_uw(Rail::Vccbram, Millivolts(610), 25.0), 610_000);
+    }
+}

@@ -6,13 +6,52 @@
 //! the paper's observation ❶ and the invariant ICBP relies on — has a
 //! single, testable root.
 
-/// SplitMix64 finalizer: a strong 64-bit mixing permutation.
+/// The SplitMix64 increment ("golden gamma", ⌊2⁶⁴/φ⌋, odd).
+pub const GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// SplitMix64 output permutation (the finalizer alone, no increment).
 #[must_use]
-pub fn mix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+pub fn finalize(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
+}
+
+/// SplitMix64 finalizer with a pre-add of [`GAMMA`]: a strong 64-bit
+/// mixing permutation.
+#[must_use]
+pub fn mix64(z: u64) -> u64 {
+    finalize(z.wrapping_add(GAMMA))
+}
+
+/// Canonical sequential SplitMix64 stream: `state += GAMMA`, then
+/// [`finalize`]. Seeded at 0 the first outputs are the reference vector
+/// `0xe220_a839_7b1d_cdaf, 0x6e78_9e6a_a1b9_65f4, …`.
+///
+/// This is *the* sequential generator of the workspace — `uvf-stats`
+/// (k-means++ seeding) re-exports it verbatim and `uvf-faults` wraps it
+/// with a seed offset that preserves its historical stream. Both streams
+/// are pinned bit-identical by regression tests in their home crates.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    #[must_use]
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GAMMA);
+        finalize(self.state)
+    }
+
+    /// Uniform in `[0, 1)` (53-bit mantissa).
+    pub fn next_f64(&mut self) -> f64 {
+        unit_f64(self.next_u64())
+    }
 }
 
 /// Hash a key tuple into 64 uniform bits. Order-sensitive by construction.
@@ -56,6 +95,24 @@ mod tests {
             let uo = unit_open_f64(mix(&[i]));
             assert!(uo > 0.0 && uo <= 1.0);
         }
+    }
+
+    #[test]
+    fn mix64_is_finalize_after_gamma() {
+        for z in [0u64, 1, 42, u64::MAX, 0xdead_beef] {
+            assert_eq!(mix64(z), finalize(z.wrapping_add(GAMMA)));
+        }
+    }
+
+    #[test]
+    fn splitmix_stream_matches_reference_vector() {
+        // Canonical SplitMix64 outputs for seed 0 (same vector that the
+        // JDK SplittableRandom / the original Steele et al. code emit).
+        let mut r = SplitMix64::new(0);
+        assert_eq!(r.next_u64(), 0xe220_a839_7b1d_cdaf);
+        assert_eq!(r.next_u64(), 0x6e78_9e6a_a1b9_65f4);
+        assert_eq!(r.next_u64(), 0x06c4_5d18_8009_454f);
+        assert_eq!(r.next_u64(), 0xf88b_b8a8_724c_81ec);
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! Dominance frontier and knee location for two-objective trade-offs.
+//!
+//! The capstone experiment sweeps the accelerator's supply voltage and
+//! plots (power, classification error) per level; this module finds the
+//! non-dominated subset (minimize both) and the knee — the point of
+//! diminishing returns the paper argues operators should run at. Both
+//! functions are pure and deterministic: ties break toward the earlier
+//! input index, so a frontier computed twice (or resumed) is identical.
+
+/// Indices of the points on the minimize-both Pareto frontier, ordered
+/// by increasing cost. A point is kept iff no other point is at most as
+/// costly *and* strictly better on loss; among exact duplicates the
+/// lowest input index wins.
+#[must_use]
+pub fn pareto_frontier(points: &[(f64, f64)]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by(|&a, &b| {
+        points[a]
+            .0
+            .total_cmp(&points[b].0)
+            .then(points[a].1.total_cmp(&points[b].1))
+            .then(a.cmp(&b))
+    });
+    let mut frontier = Vec::new();
+    let mut best_loss = f64::INFINITY;
+    for i in order {
+        if points[i].1 < best_loss {
+            frontier.push(i);
+            best_loss = points[i].1;
+        }
+    }
+    frontier
+}
+
+/// The knee of a frontier: the member farthest (perpendicular distance,
+/// both axes normalized to `[0, 1]`) from the chord between the
+/// cheapest and the lowest-loss endpoints. Ties break toward the
+/// earlier frontier position; degenerate frontiers (a single point, or
+/// zero spread on an axis, which makes every distance 0) fall back to
+/// the first member. Returns an index into `points`, or `None` for an
+/// empty frontier.
+#[must_use]
+pub fn knee_of_frontier(points: &[(f64, f64)], frontier: &[usize]) -> Option<usize> {
+    let first = *frontier.first()?;
+    let last = *frontier.last()?;
+    let (c0, l0) = points[first];
+    let (c1, l1) = points[last];
+    let c_span = (c1 - c0).abs().max(f64::MIN_POSITIVE);
+    let l_span = (l1 - l0).abs().max(f64::MIN_POSITIVE);
+    let mut knee = first;
+    let mut best = f64::NEG_INFINITY;
+    for &i in frontier {
+        let x = (points[i].0 - c0) / c_span;
+        let y = (points[i].1 - l0) / l_span;
+        // Chord runs (0, 0) → (±1, ∓1); |cross product| / |chord|.
+        let x1 = (c1 - c0) / c_span;
+        let y1 = (l1 - l0) / l_span;
+        let dist = (x * y1 - y * x1).abs() / (x1 * x1 + y1 * y1).sqrt().max(f64::MIN_POSITIVE);
+        if dist > best {
+            best = dist;
+            knee = i;
+        }
+    }
+    Some(knee)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontier_drops_dominated_points() {
+        // (cost, loss): index 2 dominates index 1; 3 is dominated by 0.
+        let pts = [(1.0, 0.5), (2.0, 0.4), (2.0, 0.3), (1.5, 0.6), (3.0, 0.1)];
+        assert_eq!(pareto_frontier(&pts), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn duplicate_points_keep_the_earlier_index() {
+        let pts = [(1.0, 1.0), (1.0, 1.0), (2.0, 0.5)];
+        assert_eq!(pareto_frontier(&pts), vec![0, 2]);
+    }
+
+    #[test]
+    fn knee_is_the_elbow_of_an_l_curve() {
+        // Steep drop then flat tail: the corner is the knee.
+        let pts = [(0.0, 1.0), (0.1, 0.2), (0.5, 0.15), (1.0, 0.1)];
+        let f = pareto_frontier(&pts);
+        assert_eq!(f, vec![0, 1, 2, 3]);
+        assert_eq!(knee_of_frontier(&pts, &f), Some(1));
+    }
+
+    #[test]
+    fn knee_handles_degenerate_frontiers() {
+        assert_eq!(knee_of_frontier(&[], &[]), None);
+        let one = [(1.0, 1.0)];
+        assert_eq!(knee_of_frontier(&one, &pareto_frontier(&one)), Some(0));
+        let flat = [(0.0, 0.5), (1.0, 0.5)];
+        let f = pareto_frontier(&flat);
+        assert_eq!(f, vec![0]);
+        assert_eq!(knee_of_frontier(&flat, &f), Some(0));
+    }
+
+    #[test]
+    fn frontier_and_knee_are_deterministic() {
+        let pts: Vec<(f64, f64)> = (0..50)
+            .map(|i| {
+                let x = f64::from(i) / 50.0;
+                (x, (1.0 - x) * (1.0 - x))
+            })
+            .collect();
+        let f1 = pareto_frontier(&pts);
+        let f2 = pareto_frontier(&pts);
+        assert_eq!(f1, f2);
+        assert_eq!(knee_of_frontier(&pts, &f1), knee_of_frontier(&pts, &f2));
+    }
+}

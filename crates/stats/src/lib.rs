@@ -3,10 +3,12 @@
 //! environment is offline (no `statrs`/`linfa`; see the workspace
 //! manifest).
 //!
-//! The crate is a *leaf*: pure math over slices, no I/O, no dependency on
-//! the rest of the workspace. `uvf-characterize` wires these estimators to
-//! fault-model data (per-BRAM fault rates, die-location histograms,
-//! temperature campaigns) and `uvf-trace` events.
+//! The crate is *near-leaf*: pure math over slices, no I/O. Its only
+//! workspace dependency is `uvf_fpga::seedmix` for the shared SplitMix64
+//! stream (one PRNG implementation to audit, pinned bit-identical to the
+//! private copy this crate used to carry). `uvf-characterize` wires these
+//! estimators to fault-model data (per-BRAM fault rates, die-location
+//! histograms, temperature campaigns) and `uvf-trace` events.
 //!
 //! Every estimator honors the workspace determinism contract: given the
 //! same inputs (and, for k-means, the same seed) the result is

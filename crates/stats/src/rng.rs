@@ -1,36 +1,28 @@
 //! Tiny deterministic PRNG for the k-means++ seeding draws.
 //!
-//! SplitMix64 again — the same generator the fault model uses — but
-//! implemented locally so the crate stays a leaf. The stream is a pure
-//! function of the caller-provided seed, which is what makes clustering
-//! reproducible: same data + same seed ⇒ bit-identical assignments.
+//! SplitMix64 again — the exact generator the rest of the workspace
+//! mixes with, re-exported from `uvf_fpga::seedmix` so there is a single
+//! implementation to audit. The stream is a pure function of the
+//! caller-provided seed, which is what makes clustering reproducible:
+//! same data + same seed ⇒ bit-identical assignments.
 
-pub struct SplitMix64 {
-    state: u64,
-}
-
-impl SplitMix64 {
-    pub fn new(seed: u64) -> SplitMix64 {
-        SplitMix64 { state: seed }
-    }
-
-    pub fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    /// Uniform in `[0, 1)` with 53 bits of precision.
-    pub fn next_f64(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
-    }
-}
+pub use uvf_fpga::seedmix::SplitMix64;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Regression pin: the k-means++ draws must keep the exact stream the
+    /// crate produced when it carried a private SplitMix64 copy. These
+    /// words were captured from that implementation before the dedup.
+    #[test]
+    fn stream_is_bit_identical_to_the_historical_private_impl() {
+        let mut r = SplitMix64::new(7);
+        assert_eq!(r.next_u64(), 0x63cb_e1e4_5932_0dd7);
+        assert_eq!(r.next_u64(), 0x044c_3cd7_f43c_661c);
+        assert_eq!(r.next_u64(), 0xe698_4080_bab1_2a02);
+        assert_eq!(r.next_u64(), 0x953a_eb70_673e_29cb);
+    }
 
     #[test]
     fn stream_is_deterministic_and_seed_sensitive() {

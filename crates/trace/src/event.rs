@@ -128,6 +128,11 @@ pub enum EventKind {
     /// JSONL sink skips it (wall time is nondeterministic), the metric
     /// sinks fold it into histograms.
     Timing { ns: u64, ops: u64 },
+    /// A point-in-time reading of an instantaneous quantity (rail power,
+    /// queue depth…). Sinks keep the *last* value per name. Integer by
+    /// design: the Prometheus exposition of this workspace is
+    /// integer-only, so emitters quantize first (e.g. power → µW).
+    Gauge { value: u64 },
 }
 
 impl EventKind {
@@ -140,6 +145,7 @@ impl EventKind {
             EventKind::Instant => "instant",
             EventKind::Counter { .. } => "counter",
             EventKind::Timing { .. } => "timing",
+            EventKind::Gauge { .. } => "gauge",
         }
     }
 }
@@ -197,6 +203,7 @@ impl Event {
                 obj.push(("ns".into(), Json::UInt(ns)));
                 obj.push(("ops".into(), Json::UInt(ops)));
             }
+            EventKind::Gauge { value } => obj.push(("value".into(), Json::UInt(value))),
             _ => {}
         }
         if include_wall {
@@ -259,6 +266,12 @@ impl Event {
                     .get("ops")
                     .and_then(Json::as_u64)
                     .ok_or("event: timing without ops")?,
+            },
+            "gauge" => EventKind::Gauge {
+                value: json
+                    .get("value")
+                    .and_then(Json::as_u64)
+                    .ok_or("event: gauge without value")?,
             },
             other => return Err(format!("event: unknown kind {other:?}")),
         };
@@ -351,6 +364,7 @@ mod tests {
             EventKind::Instant,
             EventKind::Counter { delta: 9 },
             EventKind::Timing { ns: 77, ops: 4 },
+            EventKind::Gauge { value: 2_410_000 },
         ] {
             let mut e = sample();
             e.kind = kind;

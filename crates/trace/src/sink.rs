@@ -131,12 +131,14 @@ impl Sink for MemorySink {
 #[derive(Default)]
 struct PromState {
     counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
     histograms: BTreeMap<String, Histogram>,
 }
 
 /// Aggregating metrics sink rendered as Prometheus text exposition.
 ///
-/// [`EventKind::Counter`] deltas sum into counters; [`EventKind::SpanEnd`]
+/// [`EventKind::Counter`] deltas sum into counters; [`EventKind::Gauge`]
+/// samples overwrite gauges (last value wins); [`EventKind::SpanEnd`]
 /// durations and [`EventKind::Timing`] samples fold into fixed-bucket
 /// histograms keyed by event name. `BTreeMap` keys make the rendered
 /// snapshot's metric order deterministic.
@@ -161,6 +163,16 @@ impl PrometheusSink {
             .clone()
     }
 
+    /// Current gauge values, by event name (last recorded value wins).
+    #[must_use]
+    pub fn gauges(&self) -> BTreeMap<String, u64> {
+        self.state
+            .lock()
+            .expect("prom sink poisoned")
+            .gauges
+            .clone()
+    }
+
     /// Snapshot of the named histogram, if any samples arrived.
     #[must_use]
     pub fn histogram(&self, name: &str) -> Option<Histogram> {
@@ -181,6 +193,11 @@ impl PrometheusSink {
             let metric = sanitize_metric_name(&format!("uvf_{name}_total"));
             let _ = writeln!(out, "# TYPE {metric} counter");
             let _ = writeln!(out, "{metric} {total}");
+        }
+        for (name, value) in &state.gauges {
+            let metric = sanitize_metric_name(&format!("uvf_{name}"));
+            let _ = writeln!(out, "# TYPE {metric} gauge");
+            let _ = writeln!(out, "{metric} {value}");
         }
         for (name, hist) in &state.histograms {
             let metric = sanitize_metric_name(&format!("uvf_{name}_duration_ns"));
@@ -203,6 +220,9 @@ impl Sink for PrometheusSink {
         match event.kind {
             EventKind::Counter { delta } => {
                 *state.counters.entry(event.name.to_string()).or_insert(0) += delta;
+            }
+            EventKind::Gauge { value } => {
+                state.gauges.insert(event.name.to_string(), value);
             }
             EventKind::SpanEnd => {
                 if let Some(wall_ns) = event.wall_ns {
@@ -392,18 +412,23 @@ mod tests {
         let t = Tracer::builder().sink(prom.clone()).build();
         t.counter("power_cycles", 2);
         t.counter("power_cycles", 1);
+        t.gauge("rail_power_uw", 2_410_000);
+        t.gauge("rail_power_uw", 118_100); // last value wins
         t.timing("corrupt_word", 450, 1024);
         {
             let _s = t.span("sweep_level");
         }
         let text = prom.render();
         assert!(text.contains("uvf_power_cycles_total 3"));
+        assert!(text.contains("# TYPE uvf_rail_power_uw gauge"));
+        assert!(text.contains("uvf_rail_power_uw 118100"));
         assert!(text.contains("# TYPE uvf_corrupt_word_duration_ns histogram"));
         assert!(text.contains("uvf_sweep_level_duration_ns_count 1"));
         let samples = parse_exposition(&text).expect("exposition parses");
-        // 1 counter + 2 histograms × (BUCKET_COUNT finite + Inf + sum + count)
-        assert_eq!(samples, 1 + 2 * (BUCKET_COUNT + 3));
+        // 1 counter + 1 gauge + 2 histograms × (BUCKET_COUNT finite + Inf + sum + count)
+        assert_eq!(samples, 2 + 2 * (BUCKET_COUNT + 3));
         assert_eq!(prom.counters().get("power_cycles"), Some(&3));
+        assert_eq!(prom.gauges().get("rail_power_uw"), Some(&118_100));
         assert_eq!(prom.histogram("corrupt_word").unwrap().count(), 1);
     }
 

@@ -165,6 +165,25 @@ impl Tracer {
         });
     }
 
+    /// Record the gauge `name` at `value`. Gauges keep the last value
+    /// recorded, so they report instantaneous readings (e.g. rail power
+    /// in microwatts) rather than accumulations.
+    pub fn gauge(&self, name: &'static str, value: u64) {
+        if !self.enabled() {
+            return;
+        }
+        self.emit(&Event {
+            seq: self.next_seq(),
+            kind: EventKind::Gauge { value },
+            name: name.into(),
+            span: None,
+            parent: Tracer::current_parent(),
+            sim_ms: None,
+            wall_ns: None,
+            fields: Vec::new(),
+        });
+    }
+
     /// A raw kernel-timing sample: `ns` of wall time over `ops` work
     /// units. Aggregate-only (skipped by the JSONL sink).
     pub fn timing(&self, name: &'static str, ns: u64, ops: u64) {
