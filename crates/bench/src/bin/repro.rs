@@ -51,7 +51,8 @@ use uvf_fpga::{Board, DataPattern, Millivolts, Platform, PlatformKind, Rail};
 use uvf_nn::{train, DatasetKind, Mlp, QNetwork, SyntheticData, TrainConfig, MNIST_LAYOUT};
 use uvf_power::{ChipPowerModel, FURTHER_REDUCTION_TARGET};
 use uvf_serve::{
-    run_worker, CampaignServer, Endpoint, Message, ServerConfig, Supervisor, WorkerOptions,
+    run_worker, CampaignServer, Endpoint, Message, ServerConfig, Subscription, Supervisor,
+    WorkerOptions,
 };
 use uvf_trace::{
     parse_exposition, Event, EventKind, Json, JsonlSink, Manifest, MemorySink, PrometheusSink,
@@ -208,6 +209,10 @@ struct Args {
     workers: usize,
     kill: bool,
     out: PathBuf,
+    endpoint: Option<String>,
+    metrics_addr: Option<String>,
+    linger_ms: u64,
+    await_subscribers: usize,
     commands: Vec<String>,
 }
 
@@ -219,6 +224,10 @@ fn parse_args() -> Result<Args, String> {
         workers: 2,
         kill: false,
         out: PathBuf::from("repro-out"),
+        endpoint: None,
+        metrics_addr: None,
+        linger_ms: 0,
+        await_subscribers: 0,
         commands: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -236,6 +245,19 @@ fn parse_args() -> Result<Args, String> {
                 args.workers = v.parse().map_err(|_| format!("bad worker count {v}"))?;
             }
             "--out" => args.out = PathBuf::from(it.next().ok_or("--out needs a path")?),
+            "--endpoint" => args.endpoint = Some(it.next().ok_or("--endpoint needs a value")?),
+            "--metrics-addr" => {
+                args.metrics_addr = Some(it.next().ok_or("--metrics-addr needs a value")?);
+            }
+            "--linger-ms" => {
+                let v = it.next().ok_or("--linger-ms needs a value")?;
+                args.linger_ms = v.parse().map_err(|_| format!("bad linger value {v}"))?;
+            }
+            "--await-subscribers" => {
+                let v = it.next().ok_or("--await-subscribers needs a value")?;
+                args.await_subscribers =
+                    v.parse().map_err(|_| format!("bad subscriber count {v}"))?;
+            }
             "--help" | "-h" => return Err(usage()),
             "list" => args.commands.push("list".to_string()),
             "all" => args.commands.extend(
@@ -260,9 +282,14 @@ fn usage() -> String {
         "usage: repro [--quick] [--check] [--threads N] [--out DIR] <cmd>...\n\
          commands: {} | list | all\n\
          `repro list` describes every experiment; `all` runs each except serve.\n\
-         serve options: [--workers N] [--kill]  (distributed campaign over\n\
-         worker processes)\n\
-         worker mode: repro work --endpoint <unix:PATH|tcp:HOST:PORT>",
+         serve options: [--workers N] [--kill] [--endpoint E] [--metrics-addr A]\n\
+         [--await-subscribers N] [--linger-ms N]  (distributed campaign over\n\
+         worker processes; --await-subscribers delays campaign start until N\n\
+         watchers attached, --linger-ms keeps the process and its /metrics\n\
+         endpoint alive after the last command)\n\
+         worker mode: repro work --endpoint <unix:PATH|tcp:HOST:PORT>\n\
+         watch mode:  repro watch --endpoint E [--from SEQ] [--once]\n\
+         promcheck:   repro promcheck <exposition.prom>...",
         REGISTRY
             .iter()
             .map(|e| e.name)
@@ -492,6 +519,9 @@ struct Ctx {
     workers: usize,
     kill: bool,
     out: PathBuf,
+    endpoint: Option<String>,
+    metrics_addr: Option<String>,
+    await_subscribers: usize,
     fixture: Option<NetFixture>,
 }
 
@@ -1231,14 +1261,43 @@ fn run_serve(ctx: &mut Ctx, tracer: &Tracer) -> Result<CmdSummary, String> {
 
     let mut span = tracer.span_with("serve_campaign", vec![("workers", workers.into())]);
     let ckpt_dir = ctx.out.join("serve-checkpoints");
-    let sock = ctx.out.join(format!("serve-{}.sock", std::process::id()));
-    let mut config = ServerConfig::new(
-        jobs.clone(),
-        RecoveryPolicy::default(),
-        Endpoint::Unix(sock),
-    );
+    let endpoint = match &ctx.endpoint {
+        Some(text) => Endpoint::parse(text).map_err(|e| format!("--endpoint: {e}"))?,
+        None => Endpoint::Unix(ctx.out.join(format!("serve-{}.sock", std::process::id()))),
+    };
+    let mut config = ServerConfig::new(jobs.clone(), RecoveryPolicy::default(), endpoint);
     config.checkpoint_dir = Some(ckpt_dir.clone());
+    config.metrics_addr = ctx.metrics_addr.clone();
+    // Dead workers' flight-recorder tails land next to the artifacts.
+    config.crash_dir = Some(ctx.out.clone());
     let handle = CampaignServer::start(config).map_err(|e| format!("server start: {e:?}"))?;
+    if let Some(addr) = handle.metrics_addr() {
+        println!("  [serve] fleet metrics: http://{addr}/metrics");
+    }
+    if ctx.await_subscribers > 0 {
+        // Hold the campaign until the watchers are attached: a quick
+        // campaign can finish in under a second, and a dashboard that
+        // subscribes before the first claim records the log from event
+        // zero instead of racing the fleet.
+        println!(
+            "  [serve] waiting for {} subscriber(s) before spawning workers",
+            ctx.await_subscribers
+        );
+        let sub_deadline = Instant::now() + std::time::Duration::from_secs(60);
+        while handle.subscriber_count() < ctx.await_subscribers {
+            if Instant::now() > sub_deadline {
+                return Err(format!(
+                    "timed out waiting for {} subscriber(s)",
+                    ctx.await_subscribers
+                ));
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        tracer.instant(
+            "subscribers_attached",
+            vec![("count", ctx.await_subscribers.into())],
+        );
+    }
     let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
     let mut fleet = Supervisor::new(
         exe,
@@ -1516,9 +1575,303 @@ fn run_work_mode() -> ExitCode {
     }
 }
 
+/// `repro watch --endpoint E [--from SEQ] [--once]`: subscribe to a live
+/// campaign server and render its published merged event log as a
+/// terminal dashboard — per-worker job/level/ETA lines, fleet fault-rate
+/// counters, recovery events highlighted. Exits when the campaign's log
+/// completes. Without `--once` a dropped connection resubscribes from the
+/// last rendered sequence number (the stream is resumable by design);
+/// `--once` treats any early end of stream as a failure instead.
+fn run_watch_mode() -> ExitCode {
+    let mut endpoint_text = None;
+    let mut from = 0u64;
+    let mut once = false;
+    let mut it = std::env::args().skip(2);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--endpoint" => endpoint_text = it.next(),
+            "--once" => once = true,
+            "--from" => {
+                let Some(v) = it.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("repro watch: --from needs a sequence number");
+                    return ExitCode::FAILURE;
+                };
+                from = v;
+            }
+            other => {
+                eprintln!("repro watch: unknown argument {other}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(text) = endpoint_text else {
+        eprintln!("repro watch: --endpoint is required\n{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let endpoint = match Endpoint::parse(&text) {
+        Ok(ep) => ep,
+        Err(msg) => {
+            eprintln!("repro watch: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match watch_campaign(&endpoint, from, once) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("repro watch: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Subscribe with connection retries: the watcher is routinely started
+/// before (or racing) the server it wants to observe.
+fn connect_subscription(endpoint: &Endpoint, from: u64) -> Result<Subscription, String> {
+    let deadline = Instant::now() + std::time::Duration::from_secs(30);
+    loop {
+        match Subscription::open(endpoint, from, 0) {
+            Ok(sub) => return Ok(sub),
+            Err(e) if Instant::now() >= deadline => {
+                return Err(format!("subscribe to {endpoint}: {e}"));
+            }
+            Err(_) => std::thread::sleep(std::time::Duration::from_millis(200)),
+        }
+    }
+}
+
+fn watch_campaign(endpoint: &Endpoint, mut from: u64, once: bool) -> Result<(), String> {
+    println!("watch — tailing {endpoint} from seq {from}");
+    let mut board = WatchBoard::new();
+    loop {
+        let mut sub = connect_subscription(endpoint, from)?;
+        let mut completed = false;
+        loop {
+            match sub.next_batch() {
+                Ok(Some(batch)) => {
+                    board.lagged(batch.dropped);
+                    for line in &batch.lines {
+                        let event = Event::parse_jsonl(line)
+                            .map_err(|e| format!("stream line unparseable: {e}"))?;
+                        from = event.seq + 1;
+                        board.observe(&event);
+                    }
+                    if batch.done {
+                        completed = true;
+                        break;
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    eprintln!("[watch] stream error: {e}");
+                    break;
+                }
+            }
+        }
+        if completed {
+            board.summary();
+            return Ok(());
+        }
+        if once {
+            return Err("stream ended before the campaign completed".into());
+        }
+        println!("[watch] stream interrupted — resubscribing from seq {from}");
+    }
+}
+
+/// Per-job context the dashboard attributes worker events to. The
+/// published log arrives grouped by job, so the most recent
+/// `job_claimed`/`job_reassigned` names the job and worker every
+/// subsequent sweep event belongs to.
+struct JobLine {
+    platform: String,
+    worker: u64,
+}
+
+/// The `repro watch` dashboard state: renders one line per interesting
+/// event and keeps fleet-wide counters for the closing summary.
+struct WatchBoard {
+    jobs: std::collections::BTreeMap<u64, JobLine>,
+    current: Option<u64>,
+    jobs_done: u64,
+    jobs_failed: u64,
+    faults: u64,
+    crashes: u64,
+    recoveries: u64,
+    events: u64,
+    dropped: u64,
+}
+
+impl WatchBoard {
+    fn new() -> WatchBoard {
+        WatchBoard {
+            jobs: std::collections::BTreeMap::new(),
+            current: None,
+            jobs_done: 0,
+            jobs_failed: 0,
+            faults: 0,
+            crashes: 0,
+            recoveries: 0,
+            events: 0,
+            dropped: 0,
+        }
+    }
+
+    fn lagged(&mut self, cumulative: u64) {
+        if cumulative > self.dropped {
+            println!(
+                "[watch] !! lagging: {} events dropped by the server-side queue",
+                cumulative - self.dropped
+            );
+            self.dropped = cumulative;
+        }
+    }
+
+    /// `"w3 job1 pynq-z1"` — the prefix tying a sweep line to its worker.
+    fn context(&self) -> String {
+        match self
+            .current
+            .and_then(|job| self.jobs.get(&job).map(|j| (job, j)))
+        {
+            Some((job, line)) => format!("w{} job{} {}", line.worker, job, line.platform),
+            None => "job ?".to_string(),
+        }
+    }
+
+    fn observe(&mut self, e: &Event) {
+        self.events += 1;
+        if !matches!(e.kind, EventKind::Instant) {
+            return;
+        }
+        match e.name.as_ref() {
+            "job_claimed" | "job_reassigned" => {
+                let job = f_u64(e, "job");
+                let worker = f_u64(e, "worker");
+                let platform = f_str(e, "platform").to_string();
+                if e.name.as_ref() == "job_reassigned" {
+                    self.recoveries += 1;
+                    println!(
+                        "[watch] !! job {job} ({platform}) reassigned to worker {worker} (attempt {})",
+                        f_u64(e, "assignment"),
+                    );
+                } else {
+                    println!("[watch] job {job} ({platform}) -> worker {worker}");
+                }
+                self.jobs.insert(job, JobLine { platform, worker });
+                self.current = Some(job);
+            }
+            "worker_lost" | "lease_expired" => {
+                self.recoveries += 1;
+                println!(
+                    "[watch] !! {} job {} (worker {})",
+                    e.name,
+                    f_u64(e, "job"),
+                    f_u64(e, "worker"),
+                );
+            }
+            "checkpoint_loaded" => {
+                self.recoveries += 1;
+                println!("[watch] !! {} resumed from checkpoint", self.context());
+            }
+            "level_done" => {
+                self.faults += f_u64(e, "faults");
+                println!(
+                    "[watch] {} | {:>4} mV: {} faults ({}/{} levels, eta {} ms) | fleet {} faults",
+                    self.context(),
+                    f_u64(e, "v_mv"),
+                    f_u64(e, "faults"),
+                    f_u64(e, "levels_done"),
+                    f_u64(e, "levels_total"),
+                    f_u64(e, "eta_ms"),
+                    self.faults,
+                );
+            }
+            "crash" => {
+                self.crashes += 1;
+                println!(
+                    "[watch] !! {} crash @ {} mV (fleet crashes: {})",
+                    self.context(),
+                    f_u64(e, "v_mv"),
+                    self.crashes,
+                );
+            }
+            "power_cycle" => {
+                println!(
+                    "[watch] {} power cycle @ {} mV",
+                    self.context(),
+                    f_u64(e, "v_mv")
+                );
+            }
+            "job_done" => {
+                self.jobs_done += 1;
+                println!(
+                    "[watch] job {} done ({} sim-ms) — fleet: {} done, {} faults, {} crashes",
+                    f_u64(e, "job"),
+                    f_u64(e, "sim_ms"),
+                    self.jobs_done,
+                    self.faults,
+                    self.crashes,
+                );
+            }
+            "job_failed" => {
+                self.jobs_failed += 1;
+                println!("[watch] !! job {} FAILED permanently", f_u64(e, "job"));
+            }
+            _ => {}
+        }
+    }
+
+    fn summary(&self) {
+        println!(
+            "[watch] campaign complete: {} done / {} failed — {} events, {} faults, \
+             {} crashes, {} recovery events, {} dropped",
+            self.jobs_done,
+            self.jobs_failed,
+            self.events,
+            self.faults,
+            self.crashes,
+            self.recoveries,
+            self.dropped,
+        );
+    }
+}
+
+/// `repro promcheck <file>...`: strict-parse Prometheus expositions with
+/// [`uvf_trace::parse_exposition`] — CI's assertion that the fleet
+/// exposition the server scraped is valid text format.
+fn run_promcheck_mode() -> ExitCode {
+    let files: Vec<String> = std::env::args().skip(2).collect();
+    if files.is_empty() {
+        eprintln!(
+            "repro promcheck: at least one exposition file required\n{}",
+            usage()
+        );
+        return ExitCode::FAILURE;
+    }
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("repro promcheck: read {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match parse_exposition(&text) {
+            Ok(samples) => println!("promcheck ok: {file} ({samples} samples)"),
+            Err(e) => {
+                eprintln!("repro promcheck: {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
-    if std::env::args().nth(1).as_deref() == Some("work") {
-        return run_work_mode();
+    match std::env::args().nth(1).as_deref() {
+        Some("work") => return run_work_mode(),
+        Some("watch") => return run_watch_mode(),
+        Some("promcheck") => return run_promcheck_mode(),
+        _ => {}
     }
     let args = match parse_args() {
         Ok(args) => args,
@@ -1540,6 +1893,9 @@ fn main() -> ExitCode {
         workers: args.workers,
         kill: args.kill,
         out: args.out,
+        endpoint: args.endpoint,
+        metrics_addr: args.metrics_addr,
+        await_subscribers: args.await_subscribers,
         fixture: None,
     };
     for cmd in &args.commands {
@@ -1553,6 +1909,15 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!();
+    }
+    if args.linger_ms > 0 {
+        // Scrapers (CI's curl, a late Prometheus pull) get this window to
+        // read /metrics after the campaign itself is done.
+        println!(
+            "lingering {} ms before exit (metrics endpoint stays up)",
+            args.linger_ms
+        );
+        std::thread::sleep(std::time::Duration::from_millis(args.linger_ms));
     }
     ExitCode::SUCCESS
 }

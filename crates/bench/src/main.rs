@@ -17,6 +17,10 @@
 //! * `traced_overhead/*` — the bulk-corruption kernel untraced vs wrapped
 //!   in a live `uvf-trace` span (`span_overhead_pct` is the acceptance
 //!   number: telemetry must cost < 5%).
+//! * `serve_subscribe/*` — a distributed mini-campaign (in-process server,
+//!   two worker threads over a Unix socket) unwatched vs with one live
+//!   draining subscriber; `subscribe_overhead_pct` holds the same < 5%
+//!   bar, enforced in full mode.
 //!
 //! The suite run itself is traced: each bench group runs under a root span
 //! and the per-phase wall-time breakdown lands in `BENCH_sweep.json`.
@@ -560,6 +564,110 @@ fn bench_traced_overhead(suite: &mut Suite, opts: &BenchOptions) {
     suite.derive("span_overhead_pct", ((median_ratio - 1.0) * 100.0).max(0.0));
 }
 
+/// A live subscriber must be (nearly) free for the campaign it watches.
+/// Each pair runs an identical distributed mini-campaign — in-process
+/// [`CampaignServer`], two worker threads over a Unix socket — twice,
+/// back to back: unwatched, then with one subscriber draining the full
+/// event stream. `subscribe_overhead_pct` is the median of per-pair
+/// wall-clock ratios; pairing cancels scheduler drift exactly like
+/// [`bench_traced_overhead`].
+fn bench_subscribe_overhead(suite: &mut Suite, opts: &BenchOptions) {
+    use uvf_serve::{
+        run_worker, CampaignServer, Endpoint, ServerConfig, Subscription, WorkerOptions,
+    };
+
+    let jobs: Vec<CampaignJob> = [PlatformKind::Vc707, PlatformKind::Zc702]
+        .iter()
+        .map(|&kind| {
+            let cfg = SweepConfig::builder(Rail::Vccbram)
+                .runs(1)
+                .start(Millivolts(kind.descriptor().vccbram.vmin.0 + 10))
+                .build();
+            CampaignJob::new(kind, cfg)
+        })
+        .collect();
+    let pairs = opts.samples.max(3);
+    println!("subscribe overhead: 2-job campaign, 2 worker threads, {pairs} paired samples");
+
+    let run_campaign = |iteration: u32, subscribe: bool| -> u64 {
+        let sock = std::env::temp_dir().join(format!(
+            "uvf-bench-sub-{}-{iteration}-{}.sock",
+            std::process::id(),
+            u8::from(subscribe),
+        ));
+        let config = ServerConfig::new(
+            jobs.clone(),
+            RecoveryPolicy::default(),
+            Endpoint::Unix(sock.clone()),
+        );
+        let t0 = std::time::Instant::now();
+        let handle = CampaignServer::start(config).expect("bench server");
+        let tail = subscribe.then(|| {
+            let endpoint = handle.endpoint().clone();
+            std::thread::spawn(move || {
+                Subscription::open(&endpoint, 0, 0)
+                    .expect("subscribe")
+                    .drain()
+                    .expect("drain stream")
+            })
+        });
+        let workers: Vec<_> = (1..=2u64)
+            .map(|id| {
+                let endpoint = handle.endpoint().clone();
+                std::thread::spawn(move || {
+                    let mut w = WorkerOptions::new(endpoint);
+                    w.worker_id = id;
+                    run_worker(&w).expect("bench worker");
+                })
+            })
+            .collect();
+        let result = handle.join().expect("bench campaign");
+        let elapsed_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        for w in workers {
+            w.join().expect("worker thread");
+        }
+        if let Some(tail) = tail {
+            let (lines, dropped) = tail.join().expect("subscriber thread");
+            assert_eq!(dropped, 0, "draining subscriber must not lag");
+            assert_eq!(lines.len(), result.events.len(), "full stream recorded");
+        }
+        std::fs::remove_file(&sock).ok();
+        elapsed_ns
+    };
+
+    run_campaign(u32::MAX, false); // warmup: touches the FVM cache once
+    let mut unwatched_ns = Vec::with_capacity(pairs as usize);
+    let mut watched_ns = Vec::with_capacity(pairs as usize);
+    let mut ratios = Vec::with_capacity(pairs as usize);
+    for i in 0..pairs {
+        let un = run_campaign(i, false);
+        let wa = run_campaign(i, true);
+        unwatched_ns.push(un);
+        watched_ns.push(wa);
+        ratios.push(wa as f64 / un.max(1) as f64);
+    }
+    for (name, samples) in [
+        ("serve_subscribe/campaign_unwatched", &unwatched_ns),
+        ("serve_subscribe/campaign_watched", &watched_ns),
+    ] {
+        let m = Measurement {
+            name: name.to_string(),
+            ops_per_sample: jobs.len() as u64,
+            samples_ns: samples.clone(),
+            median_ns: median_ns(samples),
+            min_ns: *samples.iter().min().expect("nonempty"),
+            max_ns: *samples.iter().max().expect("nonempty"),
+        };
+        print_measurement(suite.record(m));
+    }
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+    let median_ratio = ratios[ratios.len() / 2];
+    suite.derive(
+        "subscribe_overhead_pct",
+        ((median_ratio - 1.0) * 100.0).max(0.0),
+    );
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(args) => args,
@@ -616,6 +724,11 @@ fn main() -> ExitCode {
         let _p = phase_tracer.span("traced_overhead");
         bench_traced_overhead(&mut suite, &opts);
     }
+    println!();
+    {
+        let _p = phase_tracer.span("serve_subscribe");
+        bench_subscribe_overhead(&mut suite, &opts);
+    }
     suite.phases = Manifest::phases_from_events(&phase_sink.events());
 
     // The campaign benches above ran through the shared FVM cache; record
@@ -641,6 +754,19 @@ fn main() -> ExitCode {
     }
     if threads < 4 {
         println!("  (campaign/scan speedups need >= 4 cores to show; this host has {threads})");
+    }
+
+    // The acceptance bar on live observation: one draining subscriber may
+    // cost the campaign < 5% wall clock. Quick mode (CI smoke on shared
+    // runners) reports the number without gating on it.
+    let subscribe_pct = suite
+        .derived
+        .iter()
+        .find(|d| d.name == "subscribe_overhead_pct")
+        .map_or(0.0, |d| d.value);
+    if !args.quick && subscribe_pct >= 5.0 {
+        eprintln!("subscribe_overhead_pct {subscribe_pct:.2}% breaches the 5% budget");
+        return ExitCode::FAILURE;
     }
 
     match suite.write(&args.out) {

@@ -99,6 +99,8 @@ type MapKey = (PlatformKind, u64, i64, u32);
 pub struct FvmCache {
     models: Mutex<Lru<(PlatformKind, u64), Arc<FaultModel>>>,
     maps: Mutex<Lru<MapKey, Arc<FaultVariationMap>>>,
+    model_capacity: usize,
+    map_capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -118,6 +120,8 @@ impl FvmCache {
         FvmCache {
             models: Mutex::new(Lru::new(model_capacity)),
             maps: Mutex::new(Lru::new(map_capacity)),
+            model_capacity: model_capacity.max(1),
+            map_capacity: map_capacity.max(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -222,11 +226,20 @@ impl FvmCache {
         )
     }
 
+    /// Configured bounds: `(model_capacity, map_capacity)`.
+    #[must_use]
+    pub fn capacities(&self) -> (usize, usize) {
+        (self.model_capacity, self.map_capacity)
+    }
+
     /// Surface the counters through `uvf-trace` as `fvm_cache_hits`,
     /// `fvm_cache_misses` and `fvm_cache_evictions`. Counters are deltas,
     /// so repeated publishes never double-count; call it from drivers
     /// (bench, `repro`, the campaign server) at reporting boundaries, not
-    /// from the deterministic sweep core.
+    /// from the deterministic sweep core. Occupancy is published alongside
+    /// as absolute gauges (`fvm_cache_size`, `fvm_cache_capacity`; models
+    /// and maps combined), so a metrics endpoint shows how full the cache
+    /// is without replaying the JSONL counter deltas.
     pub fn publish(&self, tracer: &Tracer) {
         if !tracer.enabled() {
             return;
@@ -237,6 +250,12 @@ impl FvmCache {
             let before = published.swap(*total, Ordering::Relaxed);
             tracer.counter(name, total.saturating_sub(before));
         }
+        let (models, maps) = self.sizes();
+        tracer.gauge("fvm_cache_size", (models + maps) as u64);
+        tracer.gauge(
+            "fvm_cache_capacity",
+            (self.model_capacity + self.map_capacity) as u64,
+        );
     }
 }
 
@@ -303,5 +322,23 @@ mod tests {
         assert_eq!(counters.get("fvm_cache_hits"), Some(&1));
         assert_eq!(counters.get("fvm_cache_misses"), Some(&1));
         assert_eq!(counters.get("fvm_cache_evictions"), Some(&0));
+    }
+
+    #[test]
+    fn publish_emits_absolute_occupancy_gauges() {
+        let cache = FvmCache::new(2, 3);
+        let p = PlatformKind::Zc702.descriptor();
+        let sink = Arc::new(uvf_trace::PrometheusSink::new());
+        let tracer = Tracer::builder().sink(Arc::clone(&sink) as _).build();
+        cache.publish(&tracer);
+        assert_eq!(sink.gauges().get("fvm_cache_size"), Some(&0));
+        assert_eq!(sink.gauges().get("fvm_cache_capacity"), Some(&5));
+        let _ = cache.model(p, 1);
+        let _ = cache.variation_map(p, 1, 25.0, p.vccbram.vcrash);
+        cache.publish(&tracer);
+        // One model + one map cached; gauges are absolute, not deltas.
+        assert_eq!(sink.gauges().get("fvm_cache_size"), Some(&2));
+        assert_eq!(sink.gauges().get("fvm_cache_capacity"), Some(&5));
+        assert_eq!(cache.capacities(), (2, 3));
     }
 }

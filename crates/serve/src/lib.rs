@@ -18,7 +18,13 @@
 //! * [`server`] — the job-leasing, event-merging campaign server;
 //! * [`worker`] — the pull-loop a worker process runs;
 //! * [`supervisor`] — process fleet keeper (spawn, reap, respawn, and
-//!   deliberate SIGKILL for chaos tests).
+//!   deliberate SIGKILL for chaos tests);
+//! * [`observatory`] — the server's passive metrics plane: fleet-wide
+//!   aggregation, per-worker flight recorders with crash-tail dumps,
+//!   and bounded per-subscriber event queues;
+//! * [`subscribe`] — the client side of live event-log tailing
+//!   ([`Subscription`]), plus the std-only `GET /metrics` endpoint the
+//!   server exposes when [`ServerConfig::metrics_addr`] is set.
 //!
 //! ## The invariant
 //!
@@ -36,12 +42,17 @@
 
 #![deny(deprecated)]
 
+mod metrics_http;
+pub mod observatory;
 pub mod protocol;
 pub mod server;
+pub mod subscribe;
 pub mod supervisor;
 pub mod worker;
 
+pub use observatory::Observatory;
 pub use protocol::{BoundListener, Conn, Endpoint, Message, MAX_FRAME_BYTES};
 pub use server::{CampaignServer, ServeError, ServerConfig, ServerHandle, ServerResult, Snapshot};
+pub use subscribe::{Batch, Subscription};
 pub use supervisor::Supervisor;
 pub use worker::{run_worker, WorkerOptions};

@@ -1,0 +1,127 @@
+//! Minimal std-only HTTP endpoint serving `GET /metrics`.
+//!
+//! This is not a web server: it answers exactly one route with the
+//! current fleet exposition and closes the connection, which is all a
+//! Prometheus scraper (or `curl`) needs. One thread polls a non-blocking
+//! listener; each request is parsed with a read timeout so a stuck
+//! client can't pin the thread.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::observatory::Flags;
+
+/// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and serve
+/// `GET /metrics` with whatever `render` returns, until `flags.stop` is
+/// set. Returns the *bound* address — callers that asked for port 0 need
+/// it to know where to scrape.
+pub(crate) fn spawn_metrics_server(
+    addr: &str,
+    render: Arc<dyn Fn() -> String + Send + Sync>,
+    flags: Arc<Flags>,
+) -> io::Result<(SocketAddr, JoinHandle<()>)> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let handle = std::thread::spawn(move || {
+        while !flags.stop.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    // One request per connection; errors only lose that
+                    // one scrape.
+                    let _ = answer(stream, render.as_ref());
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+    });
+    Ok((bound, handle))
+}
+
+fn answer(mut stream: TcpStream, render: &(dyn Fn() -> String + Send + Sync)) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    // Read until the end of the request head; the request line is all we
+    // route on, but draining the head keeps clients that wait for their
+    // request to be consumed happy.
+    let mut head = Vec::with_capacity(512);
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") && head.len() < 8192 {
+        match stream.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => head.push(byte[0]),
+            Err(_) => break,
+        }
+    }
+    let request_line = std::str::from_utf8(&head)
+        .unwrap_or("")
+        .lines()
+        .next()
+        .unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (status, body) = if method == "GET" && (path == "/metrics" || path == "/metrics/") {
+        ("200 OK", render())
+    } else {
+        (
+            "404 Not Found",
+            String::from("only GET /metrics lives here\n"),
+        )
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufRead as _;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut reader = std::io::BufReader::new(stream);
+        let mut status = String::new();
+        reader.read_line(&mut status).unwrap();
+        let mut body = String::new();
+        let mut line = String::new();
+        // Skip headers, then read the body to EOF (Connection: close).
+        while reader.read_line(&mut line).unwrap() > 0 {
+            if line == "\r\n" {
+                break;
+            }
+            line.clear();
+        }
+        reader.read_to_string(&mut body).unwrap();
+        (status.trim_end().to_string(), body)
+    }
+
+    #[test]
+    fn serves_metrics_and_404s_everything_else() {
+        let flags = Flags::new();
+        let render: Arc<dyn Fn() -> String + Send + Sync> =
+            Arc::new(|| "# TYPE uvf_up gauge\nuvf_up 1\n".to_string());
+        let (addr, handle) =
+            spawn_metrics_server("127.0.0.1:0", render, Arc::clone(&flags)).unwrap();
+        let (status, body) = get(addr, "/metrics");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert_eq!(body, "# TYPE uvf_up gauge\nuvf_up 1\n");
+        uvf_trace::parse_exposition(&body).expect("exposition parses");
+        let (status, _) = get(addr, "/somewhere-else");
+        assert_eq!(status, "HTTP/1.1 404 Not Found");
+        flags.stop.store(true, Ordering::SeqCst);
+        handle.join().unwrap();
+    }
+}

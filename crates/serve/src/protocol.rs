@@ -21,6 +21,9 @@
 //! worker  ->  server   JobFailed { job, error }
 //! client  ->  server   GetFvm    { platform, chip_seed, temp_mc, v_ref_mv }
 //! server  ->  client   Fvm       { record }       (FvmRecord canonical JSON)
+//! client  ->  server   Subscribe { from_seq, queue_cap }
+//! server  ->  client   EventBatch{ first_seq, lines, dropped, done }
+//! client  ->  server   Unsubscribe
 //! ```
 //!
 //! `GetFvm` lets any client — a worker about to place an accelerator, a
@@ -28,6 +31,17 @@
 //! census from the server's shared `FvmCache` instead of regenerating the
 //! die locally. Temperature travels as milli-°C (`temp_mc`) so the wire
 //! key is integral; the reply is the byte-stable [`FvmRecord`] JSON.
+//!
+//! `Subscribe` turns a connection into a live tail of the server's
+//! *published* merged event log — the same job-ordered, sequence-
+//! renumbered stream the post-run manifest is built from — starting at
+//! `from_seq` (0 for everything; resuming clients pass their last seen
+//! seq + 1). The server pushes `EventBatch` frames of JSONL lines; a
+//! batch with `done: true` means the campaign is over and the log is
+//! complete. Each subscriber has a bounded queue: a slow reader loses
+//! old batches (accounted in the cumulative `dropped`) rather than
+//! stalling the job queue. `queue_cap` of 0 asks for the server default;
+//! tests pass a tiny cap to exercise the lag path deterministically.
 //!
 //! [`FvmRecord`]: uvf_characterize::record::FvmRecord
 
@@ -133,6 +147,26 @@ pub enum Message {
     Fvm {
         record: String,
     },
+    /// Tail the published merged event log live, starting at `from_seq`.
+    Subscribe {
+        from_seq: u64,
+        /// Per-subscriber queue bound in events; 0 = server default.
+        queue_cap: u64,
+    },
+    /// A run of consecutive published events, as JSONL lines.
+    EventBatch {
+        /// Sequence number of the first line in `lines` (meaningless
+        /// when `lines` is empty, e.g. a final empty `done` batch).
+        first_seq: u64,
+        lines: Vec<String>,
+        /// Cumulative events dropped for *this* subscriber because its
+        /// queue overflowed (the stream has a gap after a drop).
+        dropped: u64,
+        /// Campaign finished and every published event was delivered.
+        done: bool,
+    },
+    /// Stop tailing; the server closes the subscription cleanly.
+    Unsubscribe,
 }
 
 impl Message {
@@ -204,6 +238,30 @@ impl Message {
                 ("type", Json::Str("fvm".into())),
                 ("record", Json::Str(record.clone())),
             ]),
+            Message::Subscribe {
+                from_seq,
+                queue_cap,
+            } => Json::obj(vec![
+                ("type", Json::Str("subscribe".into())),
+                ("from_seq", Json::UInt(*from_seq)),
+                ("queue_cap", Json::UInt(*queue_cap)),
+            ]),
+            Message::EventBatch {
+                first_seq,
+                lines,
+                dropped,
+                done,
+            } => Json::obj(vec![
+                ("type", Json::Str("event_batch".into())),
+                ("first_seq", Json::UInt(*first_seq)),
+                (
+                    "lines",
+                    Json::Arr(lines.iter().map(|l| Json::Str(l.clone())).collect()),
+                ),
+                ("dropped", Json::UInt(*dropped)),
+                ("done", Json::Bool(*done)),
+            ]),
+            Message::Unsubscribe => Json::obj(vec![("type", Json::Str("unsubscribe".into()))]),
         }
     }
 
@@ -265,6 +323,30 @@ impl Message {
             "fvm" => Message::Fvm {
                 record: req_str(v, "record")?.to_string(),
             },
+            "subscribe" => Message::Subscribe {
+                from_seq: req_u64(v, "from_seq")?,
+                queue_cap: req_u64(v, "queue_cap")?,
+            },
+            "event_batch" => Message::EventBatch {
+                first_seq: req_u64(v, "first_seq")?,
+                lines: v
+                    .get("lines")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| schema("lines missing"))?
+                    .iter()
+                    .map(|l| {
+                        l.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| schema("non-string event line"))
+                    })
+                    .collect::<Result<Vec<String>, RecordError>>()?,
+                dropped: req_u64(v, "dropped")?,
+                done: v
+                    .get("done")
+                    .and_then(Json::as_bool)
+                    .ok_or_else(|| schema("done missing"))?,
+            },
+            "unsubscribe" => Message::Unsubscribe,
             other => return Err(schema(&format!("unknown message type {other}"))),
         })
     }
@@ -468,6 +550,26 @@ mod tests {
             Message::Fvm {
                 record: r#"{"platform":"vc707"}"#.into(),
             },
+            Message::Subscribe {
+                from_seq: 17,
+                queue_cap: 0,
+            },
+            Message::EventBatch {
+                first_seq: 17,
+                lines: vec![
+                    r#"{"seq":17,"kind":"instant","name":"job_done"}"#.into(),
+                    r#"{"seq":18,"kind":"instant","name":"job_claimed"}"#.into(),
+                ],
+                dropped: 3,
+                done: false,
+            },
+            Message::EventBatch {
+                first_seq: 0,
+                lines: Vec::new(),
+                dropped: 0,
+                done: true,
+            },
+            Message::Unsubscribe,
         ]
     }
 

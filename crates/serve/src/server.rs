@@ -20,6 +20,9 @@
 //! In every case the replacement worker resumes from the checkpoint the
 //! predecessor left in the shared [`CheckpointStore`] — the identical
 //! mechanism PR 1's harness uses for board crashes, lifted one level up.
+//! When a worker dies holding a lease, the server also dumps that
+//! worker's flight-recorder tail (its last K events) to a
+//! `crash_tail_worker<id>.jsonl` for post-mortem.
 //!
 //! ## Determinism
 //!
@@ -29,12 +32,31 @@
 //! record's fingerprint against the job's expected configuration before
 //! accepting it. Results are merged in job order, making the final
 //! [`CampaignManifest`] byte-identical to a single-process run's.
+//!
+//! ## The published log and subscribers
+//!
+//! Subscribers ([`Message::Subscribe`]) tail the server's *published*
+//! merged event log: whenever the prefix of jobs `0..k` are all
+//! terminal, their segments are renumbered with the exact rule
+//! [`merge_event_streams`] applies post-run and appended to the log. A
+//! job's segment list is immutable once the job is terminal (leases are
+//! gone and zombie events are suppressed), so the published stream is
+//! always a verbatim prefix of — and finally equal to — the post-run
+//! merged log, even across SIGKILL-driven reassignment. The price is
+//! that the live view trails the slowest unfinished *lead* job; the
+//! payoff is that what a subscriber records is the manifest's log, byte
+//! for byte. Each subscriber drains its own bounded queue from its own
+//! writer thread — a slow observer loses old events (counted in
+//! `uvf_subscriber_lagged_total`) and never stalls the job queue.
 
+use crate::metrics_http::spawn_metrics_server;
+use crate::observatory::{Flags, Observatory, Subscriber};
 use crate::protocol::{BoundListener, Conn, Endpoint, Message};
 use std::collections::HashSet;
 use std::io::{self, Write};
+use std::net::SocketAddr;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -44,7 +66,8 @@ use uvf_characterize::prelude::{
     SweepRecord,
 };
 use uvf_characterize::record::RecordError;
-use uvf_trace::merge::merge_event_streams;
+use uvf_characterize::FvmCache;
+use uvf_trace::merge::{merge_event_streams, offset_event};
 use uvf_trace::{Event, EventKind, Value};
 
 /// Everything a campaign server needs to start.
@@ -61,6 +84,18 @@ pub struct ServerConfig {
     pub lease_ms: u64,
     /// Total assignment attempts per job before its failure is permanent.
     pub max_assignments: u32,
+    /// Serve `GET /metrics` (fleet + server exposition) on this TCP
+    /// address (`host:0` binds ephemerally; [`ServerHandle::metrics_addr`]
+    /// reports the real port). `None` disables the endpoint.
+    pub metrics_addr: Option<String>,
+    /// Where dead workers' `crash_tail_worker<id>.jsonl` dumps land.
+    /// Defaults to `checkpoint_dir`; `None` on both disables dumping.
+    pub crash_dir: Option<PathBuf>,
+    /// Default per-subscriber queue bound, in events. Generous by
+    /// default so a keeping-up subscriber records the complete log.
+    pub subscriber_queue_cap: usize,
+    /// Per-worker flight-recorder ring size, in events.
+    pub flight_recorder_cap: usize,
 }
 
 impl ServerConfig {
@@ -73,6 +108,10 @@ impl ServerConfig {
             endpoint,
             lease_ms: 30_000,
             max_assignments: 5,
+            metrics_addr: None,
+            crash_dir: None,
+            subscriber_queue_cap: 1 << 16,
+            flight_recorder_cap: 256,
         }
     }
 }
@@ -154,6 +193,21 @@ struct State {
     permanent: Vec<Option<String>>,
     workers_seen: HashSet<u64>,
     max_assignments: u32,
+    /// Metrics + flight recorders (internally locked; safe to poke while
+    /// holding the state lock, never the other way around).
+    obs: Arc<Observatory>,
+    /// The live merged log: jobs `0..published_jobs` renumbered exactly
+    /// as [`merge_event_streams`] will renumber them post-run.
+    published: Vec<Event>,
+    published_jobs: usize,
+    /// Accumulated renumbering offset over the published segments.
+    publish_offset: u64,
+    subscribers: Vec<Arc<Subscriber>>,
+    /// When each job last became claimable (campaign start, or its last
+    /// release/expiry) — the queue-wait histogram's zero point.
+    ready_ms: Vec<u64>,
+    /// When the current assignment of each job was claimed.
+    claim_ms: Vec<u64>,
 }
 
 impl State {
@@ -180,8 +234,19 @@ impl State {
         })
     }
 
-    fn release_worker(&mut self, worker: u64) {
-        for job in self.queue.release_worker(worker) {
+    fn release_worker(&mut self, worker: u64, now_ms: u64) {
+        let released = self.queue.release_worker(worker);
+        if released.is_empty() {
+            // Clean exit (campaign over, nothing held): just the gauge.
+            self.obs
+                .aggregator()
+                .set_worker_gauge("worker_liveness", worker, 0);
+        } else {
+            // Died holding work: dump the flight tail for post-mortem.
+            self.obs.worker_dead(worker);
+        }
+        for job in released {
+            self.ready_ms[job] = now_ms;
             self.inject(
                 job,
                 "worker_lost",
@@ -192,11 +257,48 @@ impl State {
 
     fn expire_leases(&mut self, now_ms: u64) {
         for (job, worker) in self.queue.expire(now_ms) {
+            self.ready_ms[job] = now_ms;
+            self.obs.worker_dead(worker);
             self.inject(
                 job,
                 "lease_expired",
                 vec![("worker", worker.into()), ("job", job.into())],
             );
+        }
+    }
+
+    /// Publish every newly-terminal prefix job's segments to the live
+    /// log and all subscriber queues, applying the identical offset rule
+    /// as [`merge_event_streams`]. Called whenever a job turns terminal;
+    /// segments of a terminal job are immutable, so each published block
+    /// is final.
+    fn publish_ready(&mut self) {
+        self.subscribers.retain(|sub| !sub.is_closed());
+        while self.published_jobs < self.queue.len() {
+            let job = self.published_jobs;
+            if self.results[job].is_none() && self.permanent[job].is_none() {
+                break;
+            }
+            let mut block = Vec::new();
+            for segment in &self.segments[job] {
+                let Some(max_seq) = segment.iter().map(|e| e.seq).max() else {
+                    continue; // empty segments add no id gap
+                };
+                block.extend(segment.iter().map(|e| offset_event(e, self.publish_offset)));
+                self.publish_offset += max_seq + 1;
+            }
+            self.published_jobs += 1;
+            if block.is_empty() {
+                continue;
+            }
+            let mut lagged = 0u64;
+            for sub in &self.subscribers {
+                lagged += sub.push_block(&block);
+            }
+            if lagged > 0 {
+                self.obs.aggregator().add("subscriber_lagged", lagged);
+            }
+            self.published.extend(block);
         }
     }
 }
@@ -209,13 +311,60 @@ impl CampaignServer {
     /// accept/supervision loop. Returns immediately; drive progress via
     /// the returned [`ServerHandle`].
     pub fn start(config: ServerConfig) -> Result<ServerHandle, ServeError> {
+        let mut config = config;
         let n = config.jobs.len();
         if let Some(dir) = &config.checkpoint_dir {
             let store = CheckpointStore::open(dir).map_err(record_io)?;
             store.sanitize(&config.jobs).map_err(record_io)?;
         }
+        if config.crash_dir.is_none() {
+            config.crash_dir = config.checkpoint_dir.clone();
+        }
         let listener = config.endpoint.listen()?;
         let endpoint = listener.endpoint().clone();
+        let obs = Arc::new(Observatory::new(
+            config.flight_recorder_cap,
+            config.crash_dir.clone(),
+        ));
+        // Touch every server-level counter so the families exist in the
+        // very first scrape, not only after the first increment.
+        let agg = obs.aggregator();
+        agg.add("jobs_queued", n as u64);
+        for name in [
+            "jobs_leased",
+            "jobs_done",
+            "jobs_failed",
+            "lease_renewals",
+            "subscriber_lagged",
+        ] {
+            agg.add(name, 0);
+        }
+        let flags = Flags::new();
+        let metrics_addr = match &config.metrics_addr {
+            None => None,
+            Some(addr) => {
+                let obs = Arc::clone(&obs);
+                let render: Arc<dyn Fn() -> String + Send + Sync> = Arc::new(move || {
+                    // Absolute occupancy of the process-wide FVM cache:
+                    // gauges from direct getters, so the delta-publishing
+                    // path (`FvmCache::publish`) keeps sole ownership of
+                    // the hit/miss counters.
+                    let cache = FvmCache::global();
+                    let (models, maps) = cache.sizes();
+                    let (model_cap, map_cap) = cache.capacities();
+                    obs.aggregator()
+                        .set_gauge("fvm_cache_size", (models + maps) as u64);
+                    obs.aggregator()
+                        .set_gauge("fvm_cache_capacity", (model_cap + map_cap) as u64);
+                    obs.render()
+                });
+                // The metrics thread outlives `join` on purpose (a scrape
+                // right after campaign completion must still answer); it
+                // exits when `stop` is set or the process ends.
+                let (bound, _thread) = spawn_metrics_server(addr, render, Arc::clone(&flags))?;
+                Some(bound)
+            }
+        };
         let state = Arc::new(Mutex::new(State {
             queue: JobQueue::new(config.jobs.clone(), config.lease_ms),
             segments: vec![Vec::new(); n],
@@ -223,19 +372,27 @@ impl CampaignServer {
             permanent: vec![None; n],
             workers_seen: HashSet::new(),
             max_assignments: config.max_assignments,
+            obs: Arc::clone(&obs),
+            published: Vec::new(),
+            published_jobs: 0,
+            publish_offset: 0,
+            subscribers: Vec::new(),
+            ready_ms: vec![0; n],
+            claim_ms: vec![0; n],
         }));
-        let stop = Arc::new(AtomicBool::new(false));
         let main = {
             let state = Arc::clone(&state);
-            let stop = Arc::clone(&stop);
+            let flags = Arc::clone(&flags);
             let config = config.clone();
-            std::thread::spawn(move || serve_loop(&listener, &config, &state, &stop))
+            std::thread::spawn(move || serve_loop(&listener, &config, &state, &flags))
         };
         Ok(ServerHandle {
             endpoint,
             jobs: config.jobs,
             state,
-            stop,
+            flags,
+            obs,
+            metrics_addr,
             main: Some(main),
         })
     }
@@ -246,7 +403,9 @@ pub struct ServerHandle {
     endpoint: Endpoint,
     jobs: Vec<CampaignJob>,
     state: Arc<Mutex<State>>,
-    stop: Arc<AtomicBool>,
+    flags: Arc<Flags>,
+    obs: Arc<Observatory>,
+    metrics_addr: Option<SocketAddr>,
     main: Option<JoinHandle<io::Result<()>>>,
 }
 
@@ -256,6 +415,28 @@ impl ServerHandle {
     #[must_use]
     pub fn endpoint(&self) -> &Endpoint {
         &self.endpoint
+    }
+
+    /// Where `GET /metrics` answers, when configured (real port for
+    /// ephemeral binds).
+    #[must_use]
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
+    }
+
+    /// The server's metrics plane (fleet aggregation, flight recorders).
+    #[must_use]
+    pub fn observatory(&self) -> &Observatory {
+        &self.obs
+    }
+
+    /// Live subscriber count (closed subscriptions are pruned). Drivers
+    /// can gate campaign start on this so a dashboard attached before
+    /// `fleet.spawn` records the log from event zero.
+    pub fn subscriber_count(&self) -> usize {
+        let mut state = self.state.lock().expect("server state poisoned");
+        state.subscribers.retain(|sub| !sub.is_closed());
+        state.subscribers.len()
     }
 
     /// Current progress.
@@ -286,10 +467,10 @@ impl ServerHandle {
     }
 
     /// Ask the server to stop accepting and wind down (jobs in flight
-    /// are abandoned). [`ServerHandle::join`] still collects whatever
-    /// finished.
+    /// are abandoned, subscribers and the metrics endpoint shut down).
+    /// [`ServerHandle::join`] still collects whatever finished.
     pub fn stop(&self) {
-        self.stop.store(true, Ordering::SeqCst);
+        self.flags.stop.store(true, Ordering::SeqCst);
     }
 
     /// Wait for the campaign to finish and merge the results.
@@ -327,10 +508,15 @@ impl ServerHandle {
             .flat_map(|job_segments| job_segments.iter().cloned())
             .collect();
         let manifest = CampaignManifest::from_entries(&entries);
+        let events = merge_event_streams(&streams);
+        debug_assert_eq!(
+            state.published, events,
+            "published log must equal the post-run merge"
+        );
         Ok(ServerResult {
             entries,
             manifest,
-            events: merge_event_streams(&streams),
+            events,
         })
     }
 }
@@ -346,22 +532,29 @@ fn serve_loop(
     listener: &BoundListener,
     config: &ServerConfig,
     state: &Arc<Mutex<State>>,
-    stop: &Arc<AtomicBool>,
+    flags: &Arc<Flags>,
 ) -> io::Result<()> {
     let started = Instant::now();
     loop {
-        if stop.load(Ordering::SeqCst) {
+        if flags.stop.load(Ordering::SeqCst) {
             return Ok(());
         }
         while let Some(conn) = listener.accept()? {
             let state = Arc::clone(state);
             let config = config.clone();
-            std::thread::spawn(move || handle_conn(conn, &config, &state, started));
+            let flags = Arc::clone(flags);
+            std::thread::spawn(move || handle_conn(conn, &config, &state, &flags, started));
         }
         {
             let mut state = state.lock().expect("server state poisoned");
             state.expire_leases(now_ms(started));
             if state.finished() {
+                // Every publish preceded this observation (they happen in
+                // the same critical sections that make jobs terminal), so
+                // subscriber writers may now treat an empty queue as a
+                // complete log.
+                drop(state);
+                flags.finished.store(true, Ordering::SeqCst);
                 return Ok(());
             }
         }
@@ -373,25 +566,56 @@ fn now_ms(started: Instant) -> u64 {
     u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX)
 }
 
-/// One worker connection, driven until it closes. A close — clean exit
-/// or SIGKILL mid-frame alike — releases every lease the worker holds.
-fn handle_conn(mut conn: Conn, config: &ServerConfig, state: &Arc<Mutex<State>>, started: Instant) {
+/// One worker (or subscriber) connection, driven until it closes. A
+/// close — clean exit or SIGKILL mid-frame alike — releases every lease
+/// the worker holds and tears down its subscription.
+fn handle_conn(
+    mut conn: Conn,
+    config: &ServerConfig,
+    state: &Arc<Mutex<State>>,
+    flags: &Arc<Flags>,
+    started: Instant,
+) {
     let mut worker_id: Option<u64> = None;
-    // Clean close or torn frame (`Ok(None)` / `Err`): the worker is gone.
+    let mut subscription: Option<Arc<Subscriber>> = None;
+    // Clean close or torn frame (`Ok(None)` / `Err`): the peer is gone.
     while let Ok(Some(msg)) = Message::read_from(&mut conn.reader) {
         // Census queries never touch the queue: answered off-lock so a
         // cache miss (die generation) cannot stall lease supervision.
-        let response = if let Message::GetFvm {
-            platform,
-            chip_seed,
-            temp_mc,
-            v_ref_mv,
-        } = &msg
-        {
-            Some(answer_fvm(platform, *chip_seed, *temp_mc, *v_ref_mv))
-        } else {
-            let mut state = state.lock().expect("server state poisoned");
-            handle_message(&msg, &mut state, &mut worker_id, config, started)
+        let response = match &msg {
+            Message::GetFvm {
+                platform,
+                chip_seed,
+                temp_mc,
+                v_ref_mv,
+            } => Some(answer_fvm(platform, *chip_seed, *temp_mc, *v_ref_mv)),
+            Message::Subscribe {
+                from_seq,
+                queue_cap,
+            } => {
+                if subscription.is_none() {
+                    let sub = register_subscriber(state, config, *from_seq, *queue_cap);
+                    // The writer half moves into the subscriber's own
+                    // drain thread; this loop keeps reading for
+                    // Unsubscribe / EOF. A slow drain blocks only that
+                    // thread, never the job queue.
+                    let writer = std::mem::replace(&mut conn.writer, Box::new(io::sink()));
+                    subscription = Some(Arc::clone(&sub));
+                    let flags = Arc::clone(flags);
+                    std::thread::spawn(move || run_subscriber_writer(writer, &sub, &flags));
+                }
+                None
+            }
+            Message::Unsubscribe => {
+                if let Some(sub) = &subscription {
+                    sub.close();
+                }
+                None
+            }
+            _ => {
+                let mut state = state.lock().expect("server state poisoned");
+                handle_message(&msg, &mut state, &mut worker_id, config, started)
+            }
         };
         if let Some(response) = response {
             if response.write_to(&mut conn.writer).is_err() {
@@ -399,11 +623,85 @@ fn handle_conn(mut conn: Conn, config: &ServerConfig, state: &Arc<Mutex<State>>,
             }
         }
     }
+    if let Some(sub) = &subscription {
+        sub.close();
+    }
     if let Some(worker) = worker_id {
         let mut state = state.lock().expect("server state poisoned");
-        state.release_worker(worker);
+        state.release_worker(worker, now_ms(started));
     }
     let _ = conn.writer.flush();
+}
+
+/// Register a new subscriber under the state lock: its queue is seeded
+/// with the published backlog from `from_seq` in the same critical
+/// section that appends new publications, so the stream has no gap and
+/// no duplicate between catch-up and live tailing.
+fn register_subscriber(
+    state: &Arc<Mutex<State>>,
+    config: &ServerConfig,
+    from_seq: u64,
+    queue_cap: u64,
+) -> Arc<Subscriber> {
+    let cap = match queue_cap {
+        0 => config.subscriber_queue_cap,
+        cap => usize::try_from(cap).unwrap_or(usize::MAX),
+    };
+    let mut state = state.lock().expect("server state poisoned");
+    let sub = Arc::new(Subscriber::new(cap));
+    let backlog: Vec<Event> = state
+        .published
+        .iter()
+        .filter(|e| e.seq >= from_seq)
+        .cloned()
+        .collect();
+    let lagged = sub.push_block(&backlog);
+    if lagged > 0 {
+        state.obs.aggregator().add("subscriber_lagged", lagged);
+    }
+    state.subscribers.push(Arc::clone(&sub));
+    sub
+}
+
+/// Drain one subscriber's queue onto its connection. Runs in its own
+/// thread; write stalls and slow readers are invisible to the server.
+fn run_subscriber_writer(mut writer: Box<dyn Write + Send>, sub: &Arc<Subscriber>, flags: &Flags) {
+    const BATCH_EVENTS: usize = 256;
+    loop {
+        if sub.is_closed() || flags.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // Read `finished` *before* popping: every publication precedes
+        // the flag flip, so finished + empty pop ⇒ the log was fully
+        // delivered (no push can land in between).
+        let finished = flags.finished.load(Ordering::SeqCst);
+        let (events, dropped) = sub.pop_batch(BATCH_EVENTS);
+        if events.is_empty() {
+            if finished {
+                let _ = Message::EventBatch {
+                    first_seq: 0,
+                    lines: Vec::new(),
+                    dropped,
+                    done: true,
+                }
+                .write_to(&mut writer);
+                sub.close();
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+            continue;
+        }
+        let batch = Message::EventBatch {
+            first_seq: events[0].seq,
+            lines: events.iter().map(Event::to_jsonl).collect(),
+            dropped,
+            done: false,
+        };
+        if batch.write_to(&mut writer).is_err() {
+            sub.close();
+            return;
+        }
+    }
 }
 
 /// Dispatch one message under the state lock; the response (if any) is
@@ -419,11 +717,13 @@ fn handle_message(
         Message::Hello { worker } => {
             *worker_id = Some(*worker);
             state.workers_seen.insert(*worker);
+            state.obs.worker_alive(*worker);
             None
         }
         Message::JobRequest { worker } => {
             *worker_id = Some(*worker);
             state.workers_seen.insert(*worker);
+            state.obs.worker_alive(*worker);
             let now = now_ms(started);
             state.expire_leases(now);
             if state.finished() {
@@ -432,6 +732,14 @@ fn handle_message(
             match state.queue.claim(*worker, now) {
                 None => Some(Message::NoJob { done: false }),
                 Some((job, spec)) => {
+                    let agg = state.obs.aggregator();
+                    agg.add("jobs_leased", 1);
+                    agg.observe_ns(
+                        "queue_wait",
+                        now.saturating_sub(state.ready_ms[job])
+                            .saturating_mul(1_000_000),
+                    );
+                    state.claim_ms[job] = now;
                     let assignment = state.queue.assignments(job);
                     let name: &'static str = if assignment > 1 {
                         "job_reassigned"
@@ -464,6 +772,14 @@ fn handle_message(
         }
         Message::Event { job, line } => {
             let worker = (*worker_id)?;
+            let parsed = Event::parse_jsonl(line).ok();
+            if let Some(event) = &parsed {
+                // Fleet metrics and the flight recorder see everything
+                // the worker says, zombie or not — forensics wants the
+                // last words, and fleet counters tolerate double counts
+                // from at most one lapsed-lease straggler.
+                state.obs.worker_event(worker, event);
+            }
             // Zombie suppression: only the current lease holder's events
             // enter the job's segment.
             let holds_lease = matches!(
@@ -475,7 +791,8 @@ fn handle_message(
                 // alive however long the sweep takes; only silence (a
                 // hang) lets the deadline lapse.
                 state.queue.renew(*job, worker, now_ms(started));
-                if let Ok(event) = Event::parse_jsonl(line) {
+                state.obs.aggregator().add("lease_renewals", 1);
+                if let Some(event) = parsed {
                     if let Some(segment) = state.segments[*job].last_mut() {
                         segment.push(event);
                     }
@@ -494,28 +811,41 @@ fn handle_message(
             if state.results[*job].is_none() {
                 match verify_record(&config.jobs[*job], record) {
                     Ok(parsed) => {
+                        let now = now_ms(started);
                         state.results[*job] = Some((parsed, *sim_ms));
                         state.queue.complete(*job);
+                        let agg = state.obs.aggregator();
+                        agg.add("jobs_done", 1);
+                        agg.observe_ns(
+                            "job_duration",
+                            now.saturating_sub(state.claim_ms[*job])
+                                .saturating_mul(1_000_000),
+                        );
                         state.inject(
                             *job,
                             "job_done",
                             vec![("job", (*job).into()), ("sim_ms", (*sim_ms).into())],
                         );
+                        state.publish_ready();
                     }
-                    Err(err) => fail_job(state, *job, &err),
+                    Err(err) => fail_job(state, *job, &err, now_ms(started)),
                 }
             }
             None
         }
         Message::JobFailed { job, error } => {
             if state.results[*job].is_none() {
-                fail_job(state, *job, error);
+                fail_job(state, *job, error, now_ms(started));
             }
             None
         }
-        // GetFvm is routed off-lock in `handle_conn`; the rest are
-        // messages server-bound connections never receive.
+        // GetFvm, Subscribe and Unsubscribe are routed off-lock in
+        // `handle_conn`; the rest are messages server-bound connections
+        // never receive.
         Message::GetFvm { .. }
+        | Message::Subscribe { .. }
+        | Message::Unsubscribe
+        | Message::EventBatch { .. }
         | Message::JobAssign { .. }
         | Message::NoJob { .. }
         | Message::Fvm { .. } => None,
@@ -529,7 +859,6 @@ fn handle_message(
 /// are published by the driving binary at its reporting boundary.
 fn answer_fvm(platform: &str, chip_seed: u64, temp_mc: i64, v_ref_mv: u32) -> Message {
     use uvf_characterize::record::FvmRecord;
-    use uvf_characterize::FvmCache;
     use uvf_fpga::{Millivolts, PlatformKind};
     let Ok(kind) = platform.parse::<PlatformKind>() else {
         return Message::JobFailed {
@@ -551,7 +880,7 @@ fn answer_fvm(platform: &str, chip_seed: u64, temp_mc: i64, v_ref_mv: u32) -> Me
 /// A failed attempt: release the lease for retry, or — once the
 /// assignment budget is spent — record the permanent failure and
 /// mark the job terminal.
-fn fail_job(state: &mut State, job: usize, error: &str) {
+fn fail_job(state: &mut State, job: usize, error: &str, now_ms: u64) {
     state.inject(
         job,
         "job_attempt_failed",
@@ -561,14 +890,17 @@ fn fail_job(state: &mut State, job: usize, error: &str) {
     if attempts >= state.max_assignments {
         state.permanent[job] = Some(error.to_string());
         state.queue.complete(job);
+        state.obs.aggregator().add("jobs_failed", 1);
         state.inject(
             job,
             "job_failed",
             vec![("job", job.into()), ("attempts", attempts.into())],
         );
+        state.publish_ready();
     } else {
         // Back to pending for the next claimant.
         state.queue.release(job);
+        state.ready_ms[job] = now_ms;
     }
 }
 

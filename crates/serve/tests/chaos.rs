@@ -20,7 +20,9 @@ use uvf_characterize::prelude::*;
 use uvf_characterize::record::Checkpoint;
 use uvf_fpga::seedmix::mix;
 use uvf_fpga::{Millivolts, PlatformKind, Rail};
-use uvf_serve::{CampaignServer, Endpoint, Message, ServerConfig, ServerHandle, Supervisor};
+use uvf_serve::{
+    CampaignServer, Endpoint, Message, ServerConfig, ServerHandle, Subscription, Supervisor,
+};
 use uvf_trace::Event;
 
 const WORKER_BIN: &str = env!("CARGO_BIN_EXE_uvf-serve-worker");
@@ -100,6 +102,18 @@ fn assert_entries_match(label: &str, expected: &[CampaignEntry], got: &[Campaign
     }
 }
 
+/// One `GET /metrics` scrape against the server's std-only endpoint.
+fn http_get_metrics(addr: std::net::SocketAddr) -> String {
+    use std::io::{Read as _, Write as _};
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    write!(stream, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let (head, body) = response.split_once("\r\n\r\n").expect("http response head");
+    assert!(head.starts_with("HTTP/1.1 200"), "metrics scrape: {head}");
+    body.to_string()
+}
+
 /// Find `name` with field `job == want_job` at/after `from`; returns the
 /// position after the match.
 fn find_event(events: &[Event], from: usize, name: &str, want_job: u64) -> Option<usize> {
@@ -131,7 +145,12 @@ fn distributed_campaign_matches_in_process_bytes() {
         let mut config = ServerConfig::new(jobs.clone(), RecoveryPolicy::default(), endpoint);
         config.checkpoint_dir = Some(dir.clone());
         config.lease_ms = 30_000;
+        config.metrics_addr = Some("127.0.0.1:0".into());
         let handle = CampaignServer::start(config).unwrap();
+        // A deliberately starved subscriber: a 2-event queue against
+        // multi-event publication blocks guarantees overflow. It must lag
+        // visibly (accounted drops) and perturb nothing.
+        let lagging = Subscription::open(handle.endpoint(), 0, 2).unwrap();
         let mut fleet = Supervisor::new(
             WORKER_BIN,
             vec!["--endpoint".into(), handle.endpoint().to_string()],
@@ -143,8 +162,32 @@ fn distributed_campaign_matches_in_process_bytes() {
             || handle.snapshot().jobs_done == jobs.len(),
             "clean 2-worker campaign",
         );
+        // Scrape the fleet exposition after the last completion: strictly
+        // valid text format, and the server-level counters reflect the
+        // whole campaign.
+        let metrics = http_get_metrics(handle.metrics_addr().unwrap());
+        uvf_trace::parse_exposition(&metrics).expect("fleet exposition parses strictly");
+        assert!(
+            metrics.contains(&format!("uvf_jobs_done_total {}\n", jobs.len())),
+            "{tag}: every job counted done:\n{metrics}"
+        );
+        assert!(
+            metrics.contains("uvf_worker_liveness{worker="),
+            "{tag}: per-worker liveness gauges present"
+        );
+        assert!(
+            metrics.contains("uvf_subscriber_lagged_total"),
+            "{tag}: lag accounting series present"
+        );
         let result = handle.join().unwrap();
         fleet.shutdown();
+        let (lag_lines, lag_dropped) = lagging.drain().unwrap();
+        assert!(lag_dropped > 0, "{tag}: starved subscriber lags visibly");
+        assert_eq!(
+            lag_lines.len() as u64 + lag_dropped,
+            result.events.len() as u64,
+            "{tag}: every published event was delivered or accounted dropped"
+        );
         assert_entries_match(tag, &expected, &result.entries);
         assert_eq!(
             result.manifest.to_json_string(),
@@ -194,6 +237,17 @@ fn sigkilled_and_hung_workers_recover_to_identical_bytes() {
     config.lease_ms = 1_200;
     let handle = CampaignServer::start(config).unwrap();
     let endpoint_arg = handle.endpoint().to_string();
+
+    // A keeping-up subscriber tails the whole campaign through every
+    // SIGKILL, hang and reassignment; what it records must be
+    // byte-identical to the post-run merged event log.
+    let tail_endpoint = handle.endpoint().clone();
+    let tail = std::thread::spawn(move || {
+        Subscription::open(&tail_endpoint, 0, 0)
+            .unwrap()
+            .drain()
+            .unwrap()
+    });
 
     // A worker that claims a job and hangs forever — the lease-expiry
     // path (its socket stays open, so only the deadline can free job 0).
@@ -350,6 +404,39 @@ fn sigkilled_and_hung_workers_recover_to_identical_bytes() {
             .any(|&(i, j)| find_event(events, i + 1, "job_reassigned", j).is_some()),
         "a lost worker's job was reassigned after the loss"
     );
+
+    // 5. The live subscriber recorded the merged log, byte for byte —
+    //    kills and reassignment included — without lagging.
+    let (streamed, dropped) = tail.join().unwrap();
+    assert_eq!(dropped, 0, "default queue bound keeps up with this fleet");
+    let merged: Vec<String> = events.iter().map(Event::to_jsonl).collect();
+    assert_eq!(
+        streamed, merged,
+        "subscriber stream is byte-identical to the merged event log"
+    );
+
+    // 6. Dead workers left flight-recorder tails for post-mortem: bounded
+    //    JSONL of their last streamed events.
+    let tails: Vec<PathBuf> = std::fs::read_dir(&dist_dir)
+        .unwrap()
+        .filter_map(|e| {
+            let path = e.unwrap().path();
+            path.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("crash_tail_worker") && n.ends_with(".jsonl"))
+                .then_some(path)
+        })
+        .collect();
+    assert!(!tails.is_empty(), "SIGKILLed workers leave crash tails");
+    for tail_path in &tails {
+        let text = std::fs::read_to_string(tail_path).unwrap();
+        assert!(!text.is_empty());
+        for line in text.lines() {
+            Event::parse_jsonl(line).unwrap_or_else(|e| {
+                panic!("crash tail {} line unparseable: {e}", tail_path.display())
+            });
+        }
+    }
 
     std::fs::remove_dir_all(&base_dir).ok();
     std::fs::remove_dir_all(&dist_dir).ok();

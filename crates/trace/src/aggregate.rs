@@ -1,0 +1,399 @@
+//! Fleet-wide metric aggregation and crash forensics.
+//!
+//! Two pieces back the campaign server's live observatory:
+//!
+//! * [`Aggregator`] — merges the metric streams of N workers into one
+//!   fleet exposition: counter deltas sum, histogram samples fold into
+//!   the shared fixed-bucket layout (so fleet p50/p95/p99 are *exact*,
+//!   not approximations — see [`Histogram::merge`]), and gauges are
+//!   last-write-wins **per worker**, rendered with a `worker="N"` label
+//!   so one slow die doesn't hide behind a fleet average.
+//! * [`FlightRecorder`] — a bounded ring of the most recent events from
+//!   one worker. When that worker dies (SIGKILL, lease expiry), the
+//!   server dumps the tail to a `crash_tail_*.jsonl` for post-mortem —
+//!   the last K things the worker said before it stopped saying things.
+//!
+//! Both are passive: they observe event streams and never feed back into
+//! the computation that produced them.
+
+use crate::event::{Event, EventKind};
+use crate::histogram::{bucket_upper_ns, Histogram};
+use crate::sink::{sanitize_metric_name, Sink};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Gauge owner: `None` is a server-level (unlabeled) gauge, `Some(w)` a
+/// per-worker one rendered with a `worker="w"` label.
+type GaugeOwner = Option<u64>;
+
+#[derive(Default)]
+struct AggState {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, BTreeMap<GaugeOwner, u64>>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// Merges per-worker metric streams into one fleet exposition.
+///
+/// Feed it worker events via [`Aggregator::record`] and server-level
+/// series via the direct [`Aggregator::add`] / [`Aggregator::set_gauge`]
+/// / [`Aggregator::observe_ns`] methods; [`Aggregator::render`] then
+/// emits a single valid Prometheus text exposition (each family declared
+/// exactly once, samples grouped under their family) that
+/// [`crate::parse_exposition`] accepts.
+#[derive(Default)]
+pub struct Aggregator {
+    state: Mutex<AggState>,
+}
+
+impl Aggregator {
+    #[must_use]
+    pub fn new() -> Aggregator {
+        Aggregator::default()
+    }
+
+    /// Fold one event from `worker` into the fleet state, with the same
+    /// kind mapping as [`crate::PrometheusSink`]: counter deltas sum,
+    /// gauges overwrite (keyed by worker), span-end durations and timing
+    /// samples fold into histograms.
+    pub fn record(&self, worker: u64, event: &Event) {
+        let mut state = self.state.lock().expect("aggregator poisoned");
+        match event.kind {
+            EventKind::Counter { delta } => {
+                *state.counters.entry(event.name.to_string()).or_insert(0) += delta;
+            }
+            EventKind::Gauge { value } => {
+                state
+                    .gauges
+                    .entry(event.name.to_string())
+                    .or_default()
+                    .insert(Some(worker), value);
+            }
+            EventKind::SpanEnd => {
+                if let Some(wall_ns) = event.wall_ns {
+                    state
+                        .histograms
+                        .entry(event.name.to_string())
+                        .or_default()
+                        .record(wall_ns);
+                }
+            }
+            EventKind::Timing { ns, .. } => {
+                state
+                    .histograms
+                    .entry(event.name.to_string())
+                    .or_default()
+                    .record(ns);
+            }
+            EventKind::SpanStart | EventKind::Instant => {}
+        }
+    }
+
+    /// Add `delta` to the fleet counter `name` (server-level series).
+    pub fn add(&self, name: &str, delta: u64) {
+        let mut state = self.state.lock().expect("aggregator poisoned");
+        *state.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Set the unlabeled (server-level) gauge `name`.
+    pub fn set_gauge(&self, name: &str, value: u64) {
+        let mut state = self.state.lock().expect("aggregator poisoned");
+        state
+            .gauges
+            .entry(name.to_string())
+            .or_default()
+            .insert(None, value);
+    }
+
+    /// Set the per-worker gauge `name{worker="worker"}`.
+    pub fn set_worker_gauge(&self, name: &str, worker: u64, value: u64) {
+        let mut state = self.state.lock().expect("aggregator poisoned");
+        state
+            .gauges
+            .entry(name.to_string())
+            .or_default()
+            .insert(Some(worker), value);
+    }
+
+    /// Fold one duration sample into the histogram `name` (server-level
+    /// series such as queue-wait and job-duration).
+    pub fn observe_ns(&self, name: &str, ns: u64) {
+        let mut state = self.state.lock().expect("aggregator poisoned");
+        state
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(ns);
+    }
+
+    /// Fleet counter totals (summed across workers), by event name.
+    #[must_use]
+    pub fn counters(&self) -> BTreeMap<String, u64> {
+        self.state
+            .lock()
+            .expect("aggregator poisoned")
+            .counters
+            .clone()
+    }
+
+    /// Per-worker values of the gauge `name` (`None` key = server-level).
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> BTreeMap<GaugeOwner, u64> {
+        self.state
+            .lock()
+            .expect("aggregator poisoned")
+            .gauges
+            .get(name)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Snapshot of the fleet histogram `name`, if any samples arrived.
+    /// Because every worker records into the same fixed bucket layout,
+    /// quantiles of this merged histogram are exactly the quantiles of
+    /// the concatenated per-worker sample streams.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.state
+            .lock()
+            .expect("aggregator poisoned")
+            .histograms
+            .get(name)
+            .cloned()
+    }
+
+    /// Render the fleet exposition: counters as `uvf_<name>_total`,
+    /// gauges as `uvf_<name>` (per-worker samples labeled
+    /// `worker="N"`), histograms as `uvf_<name>_duration_ns`. Output
+    /// order is deterministic and each family is declared exactly once.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let state = self.state.lock().expect("aggregator poisoned");
+        let mut out = String::new();
+        for (name, total) in &state.counters {
+            let metric = sanitize_metric_name(&format!("uvf_{name}_total"));
+            let _ = writeln!(out, "# TYPE {metric} counter");
+            let _ = writeln!(out, "{metric} {total}");
+        }
+        for (name, by_owner) in &state.gauges {
+            let metric = sanitize_metric_name(&format!("uvf_{name}"));
+            let _ = writeln!(out, "# TYPE {metric} gauge");
+            for (owner, value) in by_owner {
+                match owner {
+                    None => {
+                        let _ = writeln!(out, "{metric} {value}");
+                    }
+                    Some(worker) => {
+                        let _ = writeln!(out, "{metric}{{worker=\"{worker}\"}} {value}");
+                    }
+                }
+            }
+        }
+        for (name, hist) in &state.histograms {
+            let metric = sanitize_metric_name(&format!("uvf_{name}_duration_ns"));
+            let _ = writeln!(out, "# TYPE {metric} histogram");
+            let (cum, total) = hist.cumulative();
+            for (i, &c) in cum.iter().enumerate() {
+                let _ = writeln!(out, "{metric}_bucket{{le=\"{}\"}} {c}", bucket_upper_ns(i));
+            }
+            let _ = writeln!(out, "{metric}_bucket{{le=\"+Inf\"}} {total}");
+            let _ = writeln!(out, "{metric}_sum {}", hist.sum_ns());
+            let _ = writeln!(out, "{metric}_count {total}");
+        }
+        out
+    }
+}
+
+/// Bounded ring of one worker's most recent events, dumpable as JSONL
+/// when the worker dies. Skips [`EventKind::Timing`] and omits wall-clock
+/// readings like [`crate::JsonlSink`], so a dumped tail is a verbatim
+/// suffix of what the worker's full event log would contain.
+pub struct FlightRecorder {
+    capacity: usize,
+    buf: Mutex<VecDeque<Event>>,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` events (min 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            capacity: capacity.max(1),
+            buf: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Events currently held, oldest first.
+    #[must_use]
+    pub fn tail(&self) -> Vec<Event> {
+        self.buf
+            .lock()
+            .expect("flight recorder poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.lock().expect("flight recorder poisoned").len()
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Write the buffered tail to `path` as JSONL (truncating), returning
+    /// how many events were written. Best-effort forensics: callers may
+    /// ignore the error — a failed dump must never fail the campaign.
+    pub fn dump(&self, path: impl AsRef<Path>) -> std::io::Result<usize> {
+        let tail = self.tail();
+        let mut writer = BufWriter::new(File::create(path)?);
+        for event in &tail {
+            writeln!(writer, "{}", event.to_jsonl())?;
+        }
+        writer.flush()?;
+        Ok(tail.len())
+    }
+}
+
+impl Sink for FlightRecorder {
+    fn record(&self, event: &Event) {
+        if matches!(event.kind, EventKind::Timing { .. }) {
+            return;
+        }
+        let mut buf = self.buf.lock().expect("flight recorder poisoned");
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Value;
+    use crate::sink::parse_exposition;
+
+    fn ev(kind: EventKind, name: &'static str) -> Event {
+        Event {
+            seq: 0,
+            kind,
+            name: name.into(),
+            span: None,
+            parent: None,
+            sim_ms: None,
+            wall_ns: None,
+            fields: Vec::new(),
+        }
+    }
+
+    fn timing(name: &'static str, ns: u64) -> Event {
+        ev(EventKind::Timing { ns, ops: 1 }, name)
+    }
+
+    #[test]
+    fn counters_sum_and_gauges_key_by_worker() {
+        let agg = Aggregator::new();
+        agg.record(7, &ev(EventKind::Counter { delta: 3 }, "faults"));
+        agg.record(9, &ev(EventKind::Counter { delta: 5 }, "faults"));
+        agg.record(7, &ev(EventKind::Gauge { value: 540 }, "v_mv"));
+        agg.record(9, &ev(EventKind::Gauge { value: 560 }, "v_mv"));
+        agg.record(7, &ev(EventKind::Gauge { value: 530 }, "v_mv")); // last wins per worker
+        assert_eq!(agg.counters().get("faults"), Some(&8));
+        let gauge = agg.gauge("v_mv");
+        assert_eq!(gauge.get(&Some(7)), Some(&530));
+        assert_eq!(gauge.get(&Some(9)), Some(&560));
+        let text = agg.render();
+        assert!(text.contains("uvf_faults_total 8"));
+        assert!(text.contains("uvf_v_mv{worker=\"7\"} 530"));
+        assert!(text.contains("uvf_v_mv{worker=\"9\"} 560"));
+        parse_exposition(&text).expect("fleet exposition parses");
+    }
+
+    #[test]
+    fn fleet_percentiles_equal_concatenated_per_worker_histograms() {
+        // Three workers with very different latency profiles; the fleet
+        // histogram must produce the same quantiles as one histogram fed
+        // every sample — exact because all share the fixed bucket layout.
+        let agg = Aggregator::new();
+        let mut all = Histogram::default();
+        let mut per_worker: Vec<Histogram> = Vec::new();
+        for (w, base) in [(1u64, 200u64), (2, 9_000), (3, 1_500_000)] {
+            let mut own = Histogram::default();
+            for i in 0..400u64 {
+                let ns = base + i * base / 7;
+                agg.record(w, &timing("kernel", ns));
+                all.record(ns);
+                own.record(ns);
+            }
+            per_worker.push(own);
+        }
+        let fleet = agg.histogram("kernel").expect("histogram exists");
+        let mut merged = Histogram::default();
+        for h in &per_worker {
+            merged.merge(h);
+        }
+        for (a, b) in [(&fleet, &all), (&fleet, &merged)] {
+            assert_eq!(a.count(), b.count());
+            assert_eq!(a.p50(), b.p50());
+            assert_eq!(a.p95(), b.p95());
+            assert_eq!(a.p99(), b.p99());
+            assert_eq!(a.sum_ns(), b.sum_ns());
+        }
+    }
+
+    #[test]
+    fn server_level_series_share_the_exposition() {
+        let agg = Aggregator::new();
+        agg.add("jobs_done", 4);
+        agg.set_gauge("fvm_cache_size", 12);
+        agg.set_worker_gauge("worker_liveness", 41, 1);
+        agg.set_worker_gauge("worker_liveness", 42, 0);
+        agg.observe_ns("queue_wait", 1_000);
+        agg.observe_ns("queue_wait", 2_000_000);
+        let text = agg.render();
+        assert!(text.contains("uvf_jobs_done_total 4"));
+        assert!(text.contains("uvf_fvm_cache_size 12"));
+        assert!(text.contains("uvf_worker_liveness{worker=\"41\"} 1"));
+        assert!(text.contains("uvf_worker_liveness{worker=\"42\"} 0"));
+        assert!(text.contains("uvf_queue_wait_duration_ns_count 2"));
+        parse_exposition(&text).expect("exposition parses");
+        assert_eq!(agg.histogram("queue_wait").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn flight_recorder_keeps_tail_and_dumps_jsonl() {
+        let rec = FlightRecorder::new(3);
+        for seq in 0..5u64 {
+            let mut e = ev(EventKind::Instant, "step");
+            e.seq = seq;
+            e.fields.push(("i".into(), Value::U64(seq)));
+            rec.record(&e);
+        }
+        rec.record(&timing("kernel", 10)); // skipped, like JsonlSink
+        let tail = rec.tail();
+        assert_eq!(tail.len(), 3);
+        assert_eq!(tail[0].seq, 2);
+        assert_eq!(tail[2].seq, 4);
+
+        let dir = std::env::temp_dir().join(format!("uvf-flightrec-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("crash_tail.jsonl");
+        let written = rec.dump(&path).unwrap();
+        assert_eq!(written, 3);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for (line, event) in lines.iter().zip(&tail) {
+            assert_eq!(*line, event.to_jsonl());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -27,6 +27,10 @@
 //! * [`Sink`] implementations: [`JsonlSink`] (byte-stable event log),
 //!   [`PrometheusSink`] (text exposition snapshot), [`MemorySink`]
 //!   (bounded ring buffer).
+//! * [`Aggregator`] / [`FlightRecorder`] — fleet-wide metric merge
+//!   (counters summed, histograms bucket-merged, gauges per worker) and
+//!   the bounded crash-tail ring the campaign server dumps when a
+//!   worker dies.
 //! * [`Manifest`] — the per-run metadata document the `repro` binary
 //!   writes next to each figure/table.
 //! * [`json`] — the byte-stable JSON value tree shared by the whole
@@ -34,6 +38,7 @@
 
 #![deny(deprecated)]
 
+pub mod aggregate;
 pub mod event;
 pub mod histogram;
 pub mod json;
@@ -42,11 +47,12 @@ pub mod merge;
 pub mod sink;
 pub mod tracer;
 
+pub use aggregate::{Aggregator, FlightRecorder};
 pub use event::{Event, EventKind, Value};
 pub use histogram::{bucket_upper_ns, Histogram, BUCKET_COUNT};
 pub use json::{Json, JsonError};
 pub use manifest::{Manifest, PhaseTime};
-pub use merge::merge_event_streams;
+pub use merge::{merge_event_streams, offset_event};
 pub use sink::{
     parse_exposition, sanitize_metric_name, JsonlSink, MemorySink, PrometheusSink, Sink,
 };

@@ -19,8 +19,11 @@ use crate::event::Event;
 
 /// Offset every id in `event` by `offset`: `seq` always, `span`/`parent`
 /// when present. Ids within one stream share a counter, so one shift
-/// preserves every internal reference.
-fn offset_event(event: &Event, offset: u64) -> Event {
+/// preserves every internal reference. Public so the campaign server can
+/// apply the identical renumbering *incrementally* when it publishes the
+/// live merged log to subscribers — the published stream must be a
+/// verbatim prefix of what [`merge_event_streams`] produces post-run.
+pub fn offset_event(event: &Event, offset: u64) -> Event {
     let mut out = event.clone();
     out.seq = event.seq + offset;
     out.span = event.span.map(|id| id + offset);

@@ -267,10 +267,15 @@ pub fn sanitize_metric_name(name: &str) -> String {
 
 /// Validate Prometheus text exposition: every non-comment line must be
 /// `<metric>{labels}? <integer>`, every metric must be declared by a
-/// preceding `# TYPE` line, and histogram bucket counts must be
-/// cumulative. Returns the number of sample lines on success.
+/// preceding `# TYPE` line, each family may be declared only once, every
+/// sample must belong to the most recently declared family (no
+/// interleaving — families are contiguous blocks), the sample suffix
+/// must match the family's kind (`_bucket`/`_sum`/`_count` only for
+/// histograms, the bare name for counters/gauges), and histogram bucket
+/// counts must be cumulative. Returns the number of sample lines.
 pub fn parse_exposition(text: &str) -> Result<usize, String> {
-    let mut declared: Vec<String> = Vec::new();
+    let mut declared: BTreeMap<String, String> = BTreeMap::new();
+    let mut current: Option<(String, String)> = None;
     let mut samples = 0usize;
     let mut last_bucket: Option<(String, u64)> = None;
     for (lineno, raw) in text.lines().enumerate() {
@@ -292,7 +297,15 @@ pub fn parse_exposition(text: &str) -> Result<usize, String> {
             ) {
                 return Err(format!("line {}: unknown TYPE kind {kind:?}", lineno + 1));
             }
-            declared.push(metric.to_string());
+            if declared.contains_key(metric) {
+                return Err(format!(
+                    "line {}: duplicate TYPE for metric {metric:?}",
+                    lineno + 1
+                ));
+            }
+            declared.insert(metric.to_string(), kind.to_string());
+            current = Some((metric.to_string(), kind.to_string()));
+            last_bucket = None;
             continue;
         }
         if line.starts_with('#') {
@@ -308,16 +321,38 @@ pub fn parse_exposition(text: &str) -> Result<usize, String> {
         if !is_valid_metric_name(bare) {
             return Err(format!("line {}: bad metric name {bare:?}", lineno + 1));
         }
-        if !declared.iter().any(|d| {
-            bare == d
-                || bare.strip_suffix("_bucket") == Some(d.as_str())
-                || bare.strip_suffix("_sum") == Some(d.as_str())
-                || bare.strip_suffix("_count") == Some(d.as_str())
-        }) {
-            return Err(format!(
-                "line {}: sample for undeclared metric {bare:?}",
-                lineno + 1
-            ));
+        let (family, kind) = current
+            .as_ref()
+            .ok_or_else(|| format!("line {}: sample for undeclared metric {bare:?}", lineno + 1))?;
+        let in_family = match kind.as_str() {
+            // Histograms expose only the three derived series.
+            "histogram" => {
+                bare.strip_suffix("_bucket") == Some(family.as_str())
+                    || bare.strip_suffix("_sum") == Some(family.as_str())
+                    || bare.strip_suffix("_count") == Some(family.as_str())
+            }
+            "summary" => {
+                bare == family
+                    || bare.strip_suffix("_sum") == Some(family.as_str())
+                    || bare.strip_suffix("_count") == Some(family.as_str())
+            }
+            _ => bare == family,
+        };
+        if !in_family {
+            let known = declared.keys().any(|d| {
+                bare == d
+                    || bare.strip_suffix("_bucket") == Some(d.as_str())
+                    || bare.strip_suffix("_sum") == Some(d.as_str())
+                    || bare.strip_suffix("_count") == Some(d.as_str())
+            });
+            return Err(if known {
+                format!(
+                    "line {}: out-of-order sample {bare:?} inside {family:?} section",
+                    lineno + 1
+                )
+            } else {
+                format!("line {}: sample for undeclared metric {bare:?}", lineno + 1)
+            });
         }
         if bare.ends_with("_bucket") {
             if let Some((prev_metric, prev_count)) = &last_bucket {
@@ -444,6 +479,51 @@ mod tests {
             .contains("non-cumulative"));
         assert_eq!(parse_exposition("").unwrap(), 0);
         assert_eq!(parse_exposition("# just a comment\n").unwrap(), 0);
+    }
+
+    #[test]
+    fn exposition_validator_rejects_duplicate_type_lines() {
+        let dup_counter = "# TYPE m counter\nm 1\n# TYPE m counter\nm 2\n";
+        assert!(parse_exposition(dup_counter)
+            .unwrap_err()
+            .contains("duplicate TYPE"));
+        let dup_gauge = "# TYPE g gauge\ng 1\n# TYPE g gauge\ng 2\n";
+        assert!(parse_exposition(dup_gauge)
+            .unwrap_err()
+            .contains("duplicate TYPE"));
+        // A re-declaration with a different kind is just as much a dup.
+        let kind_flip = "# TYPE g gauge\ng 1\n# TYPE g counter\ng 2\n";
+        assert!(parse_exposition(kind_flip)
+            .unwrap_err()
+            .contains("duplicate TYPE"));
+    }
+
+    #[test]
+    fn exposition_validator_rejects_out_of_order_families() {
+        // Sample for family `a` appearing inside family `b`'s section.
+        let interleaved = "# TYPE a counter\na 1\n# TYPE b counter\nb 2\na 3\n";
+        assert!(parse_exposition(interleaved)
+            .unwrap_err()
+            .contains("out-of-order"));
+        // Gauge sections are checked just as strictly.
+        let gauge_tail = "# TYPE g gauge\ng 1\n# TYPE h histogram\ng 5\n";
+        assert!(parse_exposition(gauge_tail)
+            .unwrap_err()
+            .contains("out-of-order"));
+        // A histogram family exposes only _bucket/_sum/_count series.
+        let bare_hist = "# TYPE h histogram\nh 1\n";
+        assert!(parse_exposition(bare_hist).is_err());
+        // A gauge sample must match its family name exactly.
+        let gauge_suffix = "# TYPE g gauge\ng_sum 1\n";
+        assert!(parse_exposition(gauge_suffix).is_err());
+    }
+
+    #[test]
+    fn exposition_validator_accepts_labeled_gauge_sections() {
+        let per_worker = "# TYPE uvf_worker_liveness gauge\n\
+                          uvf_worker_liveness{worker=\"41\"} 1\n\
+                          uvf_worker_liveness{worker=\"42\"} 0\n";
+        assert_eq!(parse_exposition(per_worker).unwrap(), 2);
     }
 
     #[test]

@@ -20,7 +20,7 @@ use std::sync::Arc;
 
 use uvf_characterize::prelude::{Harness, RecoveryPolicy, SweepConfig, Tracer};
 use uvf_fpga::{Board, Millivolts, PlatformKind, Rail};
-use uvf_trace::{parse_exposition, JsonlSink, PrometheusSink};
+use uvf_trace::{parse_exposition, Aggregator, JsonlSink, PrometheusSink};
 
 fn golden_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -99,4 +99,72 @@ fn prometheus_exposition_of_scripted_events_is_golden() {
     let actual = prom.render();
     parse_exposition(&actual).expect("exposition parses");
     assert_golden("scripted.prom", &actual);
+}
+
+/// The aggregated *fleet* exposition over a scripted three-worker event
+/// sequence: counters summed across workers, the shared histogram
+/// bucket-merged (one sample per decade from each worker, shifted so the
+/// merge is visible in the bucket counts), gauges last-write-wins per
+/// worker with a `worker="N"` label, plus the server-level series the
+/// campaign observatory adds on top.
+#[test]
+fn aggregated_fleet_exposition_is_golden() {
+    use uvf_trace::{Event, EventKind};
+    let agg = Aggregator::new();
+    let scripted = |kind: EventKind, name: &'static str| Event {
+        seq: 0,
+        kind,
+        name: name.into(),
+        span: None,
+        parent: None,
+        sim_ms: None,
+        wall_ns: None,
+        fields: Vec::new(),
+    };
+    for (i, worker) in [41u64, 42, 43].iter().enumerate() {
+        agg.record(
+            *worker,
+            &scripted(
+                EventKind::Counter {
+                    delta: 100 + i as u64,
+                },
+                "runs",
+            ),
+        );
+        agg.record(
+            *worker,
+            &scripted(EventKind::Counter { delta: 7 }, "faults"),
+        );
+        agg.record(
+            *worker,
+            &scripted(
+                EventKind::Gauge {
+                    value: 540 + 10 * i as u64,
+                },
+                "v_mv",
+            ),
+        );
+        for ns in [900u64, 9_000, 90_000, 900_000, 9_000_000] {
+            agg.record(
+                *worker,
+                &scripted(
+                    EventKind::Timing {
+                        ns: ns << i,
+                        ops: 64,
+                    },
+                    "bram_scan",
+                ),
+            );
+        }
+    }
+    agg.add("jobs_done", 3);
+    agg.set_gauge("fvm_cache_size", 5);
+    agg.set_worker_gauge("worker_liveness", 41, 1);
+    agg.set_worker_gauge("worker_liveness", 42, 1);
+    agg.set_worker_gauge("worker_liveness", 43, 0);
+    agg.observe_ns("queue_wait", 2_000);
+    agg.observe_ns("queue_wait", 3_000_000);
+    let actual = agg.render();
+    parse_exposition(&actual).expect("fleet exposition parses");
+    assert_golden("fleet.prom", &actual);
 }
