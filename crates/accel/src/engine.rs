@@ -7,7 +7,9 @@
 //! touch BRAM (they live in flip-flops), so only weights corrupt.
 
 use crate::placement::Placement;
+use uvf_faults::ecc::{self, EccStats};
 use uvf_faults::{FaultModel, ResolvedCondition};
+use uvf_fpga::eccmode::{self, ECC_DATA_WORDS, ECC_WORDS_PER_BRAM};
 use uvf_fpga::{Board, BoardError, BRAM_ROWS};
 use uvf_nn::{decode_word, Matrix, Mlp, QNetwork};
 use uvf_trace::Tracer;
@@ -43,6 +45,9 @@ impl LayerFaults {
 pub struct MappedNetwork<'a> {
     qnet: &'a QNetwork,
     placement: Placement,
+    /// Stored in the SECDED ECC layout (64+8 stripes) instead of one
+    /// raw word per row. Set by [`MappedNetwork::load_ecc`].
+    ecc: bool,
 }
 
 impl<'a> MappedNetwork<'a> {
@@ -94,12 +99,93 @@ impl<'a> MappedNetwork<'a> {
         }
         tracer.counter("weights_written", written);
         span.field("words", written.into());
-        Ok(MappedNetwork { qnet, placement })
+        Ok(MappedNetwork {
+            qnet,
+            placement,
+            ecc: false,
+        })
+    }
+
+    /// Like [`MappedNetwork::load`], but store every layer in the
+    /// SECDED ECC layout: weights packed four to a 72-bit codeword with
+    /// the parity byte written into the same BRAM's parity region (see
+    /// [`uvf_fpga::eccmode`]). The placement must have been built with
+    /// the 896-word ECC capacity
+    /// ([`Placement::contiguous_with_capacity`] /
+    /// [`Placement::icbp_with_capacity`]).
+    ///
+    /// # Errors
+    /// Propagates any [`BoardError`] from the row writes.
+    ///
+    /// # Panics
+    /// If the placement layer count differs from the network's.
+    pub fn load_ecc(
+        board: &mut Board,
+        qnet: &'a QNetwork,
+        placement: Placement,
+    ) -> Result<MappedNetwork<'a>, BoardError> {
+        MappedNetwork::load_ecc_traced(board, qnet, placement, &Tracer::disabled())
+    }
+
+    /// [`MappedNetwork::load_ecc`] wrapped in a `weights_load` span.
+    ///
+    /// # Errors
+    /// Propagates any [`BoardError`] from the row writes.
+    ///
+    /// # Panics
+    /// If the placement layer count differs from the network's.
+    pub fn load_ecc_traced(
+        board: &mut Board,
+        qnet: &'a QNetwork,
+        placement: Placement,
+        tracer: &Tracer,
+    ) -> Result<MappedNetwork<'a>, BoardError> {
+        assert_eq!(placement.layers(), qnet.layers().len(), "layer count");
+        let mut span = tracer.span_with(
+            "weights_load",
+            vec![
+                ("layers", placement.layers().into()),
+                ("mode", "secded".into()),
+            ],
+        );
+        let mut written = 0u64;
+        for (l, layer) in qnet.layers().iter().enumerate() {
+            let words = layer.weights.encoded_words();
+            for (i, chunk) in words.chunks(ECC_WORDS_PER_BRAM).enumerate() {
+                let bram = placement.layer(l)[i];
+                let mut image = [0u16; BRAM_ROWS];
+                for (cw, group) in chunk.chunks(ECC_DATA_WORDS).enumerate() {
+                    let mut data = 0u64;
+                    for (k, &w) in group.iter().enumerate() {
+                        data |= u64::from(w) << (16 * k);
+                    }
+                    let coded = ecc::encode(data);
+                    eccmode::store_codeword(&mut image, cw, coded.data, coded.parity);
+                }
+                for (row, &w) in image.iter().enumerate() {
+                    board.write_row(bram, row as u32, w)?;
+                }
+            }
+            written += words.len() as u64;
+        }
+        tracer.counter("weights_written", written);
+        span.field("words", written.into());
+        Ok(MappedNetwork {
+            qnet,
+            placement,
+            ecc: true,
+        })
     }
 
     #[must_use]
     pub fn placement(&self) -> &Placement {
         &self.placement
+    }
+
+    /// Is the network stored in the SECDED ECC layout?
+    #[must_use]
+    pub fn is_ecc(&self) -> bool {
+        self.ecc
     }
 
     #[must_use]
@@ -139,6 +225,11 @@ impl<'a> MappedNetwork<'a> {
         faults: LayerFaults,
         tracer: &Tracer,
     ) -> Result<Mlp, BoardError> {
+        if self.ecc {
+            return self
+                .read_back_ecc_traced(board, model, condition, faults, tracer)
+                .map(|(mlp, _)| mlp);
+        }
         let _span = tracer.span_with(
             "weights_read_back",
             vec![("layers", self.qnet.layers().len().into())],
@@ -171,6 +262,94 @@ impl<'a> MappedNetwork<'a> {
             ));
         }
         Ok(self.qnet.rebuild_with_weights(matrices))
+    }
+
+    /// ECC-mode read-back: decode every SECDED stripe through the fault
+    /// model and rebuild the MLP, tallying correction outcomes.
+    ///
+    /// Singles are repaired, doubles (and wider detectable patterns)
+    /// are flagged but their corrupted data bits flow into the weights
+    /// — a real accelerator raises an interrupt it cannot service
+    /// mid-inference — and silent miscorrections are counted against
+    /// the fault-free stored image. The tallies surface as the
+    /// `ecc_corrected` / `ecc_escaped` trace counters.
+    ///
+    /// # Errors
+    /// Propagates [`BoardError`] from the bulk reads (e.g. crashed board).
+    ///
+    /// # Panics
+    /// If the network was not loaded with [`MappedNetwork::load_ecc`].
+    pub fn read_back_ecc(
+        &self,
+        board: &Board,
+        model: &FaultModel,
+        condition: Option<&ResolvedCondition>,
+        faults: LayerFaults,
+    ) -> Result<(Mlp, EccStats), BoardError> {
+        self.read_back_ecc_traced(board, model, condition, faults, &Tracer::disabled())
+    }
+
+    /// [`MappedNetwork::read_back_ecc`] wrapped in a `weights_read_back`
+    /// span, with the decode tallies emitted as trace counters.
+    ///
+    /// # Errors
+    /// Propagates [`BoardError`] from the bulk reads (e.g. crashed board).
+    ///
+    /// # Panics
+    /// If the network was not loaded with [`MappedNetwork::load_ecc`].
+    pub fn read_back_ecc_traced(
+        &self,
+        board: &Board,
+        model: &FaultModel,
+        condition: Option<&ResolvedCondition>,
+        faults: LayerFaults,
+        tracer: &Tracer,
+    ) -> Result<(Mlp, EccStats), BoardError> {
+        assert!(self.ecc, "network was not loaded in ECC mode");
+        let _span = tracer.span_with(
+            "weights_read_back",
+            vec![
+                ("layers", self.qnet.layers().len().into()),
+                ("mode", "secded".into()),
+            ],
+        );
+        let mut stats = EccStats::default();
+        let mut matrices = Vec::with_capacity(self.qnet.layers().len());
+        let mut decoded = Vec::with_capacity(ECC_WORDS_PER_BRAM);
+        for (l, layer) in self.qnet.layers().iter().enumerate() {
+            let n = layer.weights.len();
+            let scale = layer.weights.scale();
+            let mut data = Vec::with_capacity(n);
+            for (i, &bram) in self.placement.layer(l).iter().enumerate() {
+                let clean = board.read_bram(bram)?;
+                let mut words = *clean;
+                if faults.includes(l) {
+                    if let Some(res) = condition {
+                        model
+                            .fault_mask(bram, res)
+                            .apply_all_traced(&mut words, tracer);
+                    }
+                }
+                let take = (n - i * ECC_WORDS_PER_BRAM).min(ECC_WORDS_PER_BRAM);
+                decoded.clear();
+                let batch =
+                    ecc::decode_image(&words, clean, take.div_ceil(ECC_DATA_WORDS), &mut decoded);
+                stats.merge(&batch);
+                data.extend(
+                    decoded[..take]
+                        .iter()
+                        .map(|&w| f32::from(decode_word(w)) * scale),
+                );
+            }
+            matrices.push(Matrix::from_vec(
+                layer.weights.rows(),
+                layer.weights.cols(),
+                data,
+            ));
+        }
+        tracer.counter("ecc_corrected", stats.corrected);
+        tracer.counter("ecc_escaped", stats.escaped());
+        Ok((self.qnet.rebuild_with_weights(matrices), stats))
     }
 }
 
@@ -240,6 +419,58 @@ mod tests {
         assert_eq!(except0.layers()[0], clean.layers()[0]);
         assert_eq!(all.layers()[0], only0.layers()[0]);
         assert_eq!(all.layers()[1], except0.layers()[1]);
+    }
+
+    #[test]
+    fn ecc_clean_readback_is_exact_and_tallies_zero() {
+        let (mut board, qnet, weights) = small_setup();
+        let placement = Placement::contiguous_with_capacity(&weights, uvf_fpga::ECC_WORDS_PER_BRAM);
+        let mapped = MappedNetwork::load_ecc(&mut board, &qnet, placement).unwrap();
+        assert!(mapped.is_ecc());
+        let model = FaultModel::new(*board.platform());
+        let (read, stats) = mapped
+            .read_back_ecc(&board, &model, None, LayerFaults::All)
+            .unwrap();
+        assert_eq!(read, qnet.to_mlp());
+        assert!(stats.words > 0);
+        assert_eq!(
+            (stats.raw_flips, stats.corrected, stats.escaped()),
+            (0, 0, 0)
+        );
+    }
+
+    #[test]
+    fn ecc_corrects_single_flips_under_undervolt() {
+        let (mut board, qnet, weights) = small_setup();
+        let model = FaultModel::with_chip_seed(*board.platform(), board.chip_seed());
+        let placement = Placement::contiguous_with_capacity(&weights, uvf_fpga::ECC_WORDS_PER_BRAM);
+        let mapped = MappedNetwork::load_ecc(&mut board, &qnet, placement).unwrap();
+        let cond = model.resolve(&ReadCondition {
+            v: Millivolts(board.platform().rail(Rail::Vccbram).vcrash.0),
+            temperature_c: DEFAULT_TEMPERATURE_C,
+            run_seed: 3,
+        });
+        let (clean, _) = mapped
+            .read_back_ecc(&board, &model, None, LayerFaults::All)
+            .unwrap();
+        let (read, stats) = mapped
+            .read_back_ecc(&board, &model, Some(&cond), LayerFaults::All)
+            .unwrap();
+        assert!(stats.raw_flips > 0, "vcrash read must flip raw bits");
+        assert!(stats.corrected > 0, "singles must be corrected");
+        // SECDED semantics: the rebuilt net deviates from the clean one
+        // only if some word escaped correction.
+        if stats.escaped() == 0 {
+            assert_eq!(read, clean);
+        } else {
+            assert_ne!(read, clean);
+        }
+        // The generic read-back path on an ECC net routes through the
+        // decoder, dropping only the tallies.
+        let via_generic = mapped
+            .read_back(&board, &model, Some(&cond), LayerFaults::All)
+            .unwrap();
+        assert_eq!(via_generic, read);
     }
 
     #[test]

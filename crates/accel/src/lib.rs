@@ -21,11 +21,16 @@
 #![deny(deprecated)]
 
 pub mod engine;
+pub mod mitigation;
 pub mod pareto;
 pub mod placement;
 pub mod vulnerability;
 
 pub use engine::{LayerFaults, MappedNetwork};
+pub use mitigation::{
+    ecc_ladder_census, mitigation_shootout, mitigation_shootout_traced, EccCensusLevel, Mitigation,
+    MitigationCurve, MitigationPoint, MitigationShootout, ShootoutConfig,
+};
 pub use pareto::{voltage_accuracy_power_sweep, ParetoConfig, ParetoPoint, ParetoSweep};
-pub use placement::{brams_for, LayerSpan, Placement};
+pub use placement::{brams_for, brams_for_capacity, LayerSpan, Placement};
 pub use vulnerability::{layer_vulnerability, layer_vulnerability_traced, VulnerabilityReport};

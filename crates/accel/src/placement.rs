@@ -34,6 +34,15 @@ pub fn brams_for(weights: usize) -> usize {
     weights.div_ceil(BRAM_ROWS)
 }
 
+/// BRAMs needed to hold `weights` 16-bit words when each BRAM only
+/// offers `words_per_bram` usable words — 1024 in the raw layout, 896
+/// ([`uvf_fpga::ECC_WORDS_PER_BRAM`]) in ECC mode, where the parity
+/// region eats 12.5 % of the array.
+#[must_use]
+pub fn brams_for_capacity(weights: usize, words_per_bram: usize) -> usize {
+    weights.div_ceil(words_per_bram)
+}
+
 /// A per-layer assignment of BRAM sites.
 ///
 /// Layer `l`'s `i`-th block of 1024 weights lives in `layer(l)[i]`.
@@ -46,13 +55,20 @@ impl Placement {
     /// Default toolflow placement: layers packed back-to-back from site 0.
     #[must_use]
     pub fn contiguous(layer_weights: &[usize]) -> Placement {
+        Placement::contiguous_with_capacity(layer_weights, BRAM_ROWS)
+    }
+
+    /// [`Placement::contiguous`] with an explicit per-BRAM word capacity
+    /// (ECC mode stores 896 usable words per BRAM instead of 1024).
+    #[must_use]
+    pub fn contiguous_with_capacity(layer_weights: &[usize], words_per_bram: usize) -> Placement {
         let mut next = 0u32;
         let assignments = layer_weights
             .iter()
             .map(|&w| {
                 let span = LayerSpan {
                     start: next,
-                    count: brams_for(w) as u32,
+                    count: brams_for_capacity(w, words_per_bram) as u32,
                 };
                 next += span.count;
                 span.ids().collect()
@@ -73,12 +89,31 @@ impl Placement {
     /// of range.
     #[must_use]
     pub fn icbp(layer_weights: &[usize], fvm: &FaultVariationMap, protected: usize) -> Placement {
+        Placement::icbp_with_capacity(layer_weights, fvm, protected, BRAM_ROWS)
+    }
+
+    /// [`Placement::icbp`] with an explicit per-BRAM word capacity, for
+    /// combining ICBP with the ECC storage layout (`EccIcbp`).
+    ///
+    /// # Panics
+    /// If the device is too small for the network or `protected` is out
+    /// of range.
+    #[must_use]
+    pub fn icbp_with_capacity(
+        layer_weights: &[usize],
+        fvm: &FaultVariationMap,
+        protected: usize,
+        words_per_bram: usize,
+    ) -> Placement {
         assert!(protected < layer_weights.len(), "protected layer index");
         let counts = fvm.counts();
-        let total: usize = layer_weights.iter().map(|&w| brams_for(w)).sum();
+        let total: usize = layer_weights
+            .iter()
+            .map(|&w| brams_for_capacity(w, words_per_bram))
+            .sum();
         assert!(total <= counts.len(), "network does not fit the device");
 
-        let k = brams_for(layer_weights[protected]);
+        let k = brams_for_capacity(layer_weights[protected], words_per_bram);
         let window = min_fault_window(counts, k);
 
         let mut assignments = vec![Vec::new(); layer_weights.len()];
@@ -92,8 +127,9 @@ impl Placement {
             if l == protected {
                 continue;
             }
-            let mut ids = Vec::with_capacity(brams_for(w));
-            while ids.len() < brams_for(w) {
+            let need = brams_for_capacity(w, words_per_bram);
+            let mut ids = Vec::with_capacity(need);
+            while ids.len() < need {
                 if next >= window && next < window + k as u32 {
                     next = window + k as u32;
                 }
@@ -221,6 +257,29 @@ mod tests {
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), p.total_brams(), "no BRAM shared by two layers");
+    }
+
+    #[test]
+    fn ecc_capacity_needs_more_brams_for_the_same_net() {
+        let weights = [100_352usize, 1280];
+        let raw = Placement::contiguous(&weights);
+        let ecc = Placement::contiguous_with_capacity(&weights, uvf_fpga::ECC_WORDS_PER_BRAM);
+        assert_eq!(raw.layer(0).len(), 98);
+        assert_eq!(ecc.layer(0).len(), 112, "896-word BRAMs: 12.5 % more sites");
+        assert_eq!(ecc.layer(1).len(), 2);
+        // ICBP composes with the reduced capacity: protected window sized
+        // in ECC BRAMs, disjoint from the rest, deterministic.
+        let fvm = vc707_fvm(3);
+        let a = Placement::icbp_with_capacity(&weights, &fvm, 1, uvf_fpga::ECC_WORDS_PER_BRAM);
+        let b = Placement::icbp_with_capacity(&weights, &fvm, 1, uvf_fpga::ECC_WORDS_PER_BRAM);
+        assert_eq!(a, b);
+        assert_eq!(a.total_brams(), ecc.total_brams());
+        let mut all: Vec<u32> = (0..a.layers())
+            .flat_map(|l| a.layer(l).iter().map(|b| b.0))
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), a.total_brams());
     }
 
     #[test]

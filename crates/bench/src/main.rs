@@ -14,6 +14,10 @@
 //! * `campaign/*` — the 4-board Table-I campaign, sequential vs the
 //!   work-stealing pool (`campaign_speedup` is wall-clock, so it only
 //!   exceeds 1 on multi-core hosts).
+//! * `ecc_decode/*` — the raw corrupted read-back vs the SECDED
+//!   corrupt-and-decode path over the same fault masks, paired per sample
+//!   (`ecc_decode_overhead_x` is the acceptance number: the mitigation
+//!   must cost < 3x the unprotected read).
 //! * `traced_overhead/*` — the bulk-corruption kernel untraced vs wrapped
 //!   in a live `uvf-trace` span (`span_overhead_pct` is the acceptance
 //!   number: telemetry must cost < 5%).
@@ -54,13 +58,15 @@ struct Args {
 /// Regression budget for `--baseline` (percent over the baseline median).
 const MAX_REGRESSION_PCT: f64 = 20.0;
 /// Bench-name prefixes `--baseline` watches: the mask-build and sweep
-/// phases the ladder kernel accelerates.
-const BASELINE_WATCH: [&str; 5] = [
+/// phases the ladder kernel accelerates, plus the SECDED decode path the
+/// mitigation shoot-out leans on.
+const BASELINE_WATCH: [&str; 6] = [
     "mask_build",
     "ladder_mask_build",
     "sweep_level_counts",
     "platform_scan",
     "campaign",
+    "ecc_decode",
 ];
 
 fn parse_args() -> Result<Args, String> {
@@ -482,6 +488,96 @@ fn bench_nn_inference(suite: &mut Suite, opts: &BenchOptions) {
     suite.derive("nn_fps_snapshot_weights", 1e9 / classify_ns);
 }
 
+/// The SECDED read-back (mask build + corrupt + two-pass decode, exactly
+/// what `read_back_ecc` runs per BRAM) against the raw per-word
+/// `corrupt_word` read path it replaces, on the same VC707 die at Vcrash.
+///
+/// Samples are **paired** like [`bench_traced_overhead`]: each iteration
+/// times the raw read and the decode path back to back, and the reported
+/// `ecc_decode_overhead_x` is the median of per-pair ratios. Full mode
+/// gates the ratio at < 3x — the decode is two mask-and-popcount passes
+/// plus a table lookup per codeword, and a regression past 3x means the
+/// fast path stopped being fast.
+fn bench_ecc_decode(suite: &mut Suite, opts: &BenchOptions) {
+    use uvf_faults::ecc;
+    use uvf_fpga::{eccmode, ECC_CODEWORDS_PER_BRAM};
+
+    let model = FaultModel::new(PlatformKind::Vc707.descriptor());
+    let resolved = model.resolve(&vcrash_condition(&model));
+    let brams: u32 = if opts.quick { 8 } else { 64 };
+    let rows = BRAM_ROWS as u16;
+    // A clean ECC-mode image: every codeword encodes a distinct pattern,
+    // so the decode sees realistic data and parity traffic.
+    let mut clean = [0u16; BRAM_ROWS];
+    for cw in 0..ECC_CODEWORDS_PER_BRAM {
+        let word = ecc::encode((cw as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        eccmode::store_codeword(&mut clean, cw, word.data, word.parity);
+    }
+    let raw_ops = u64::from(brams) * BRAM_ROWS as u64;
+    let ecc_ops = u64::from(brams) * ECC_CODEWORDS_PER_BRAM as u64;
+    let pairs = opts.samples.max(3) * 3;
+    println!("ecc decode: VC707 at Vcrash, {brams} BRAMs, {pairs} paired samples");
+
+    let run_raw = |scratch: &mut [u16; BRAM_ROWS]| -> u64 {
+        let mut acc = 0u64;
+        for b in 0..brams {
+            for row in 0..rows {
+                let word = clean[usize::from(row)];
+                scratch[usize::from(row)] =
+                    model.corrupt_word_resolved(BramId(b), row, word, &resolved);
+            }
+            acc ^= u64::from(scratch[BRAM_ROWS - 1]);
+        }
+        acc
+    };
+    let run_ecc = |scratch: &mut [u16; BRAM_ROWS], out: &mut Vec<u16>| -> u64 {
+        let mut acc = 0u64;
+        for b in 0..brams {
+            let mask = model.fault_mask(BramId(b), &resolved);
+            let stats =
+                ecc::corrupt_and_decode(&mask, &clean, ECC_CODEWORDS_PER_BRAM, scratch, out);
+            acc += stats.corrected + stats.escaped();
+        }
+        acc
+    };
+    let mut scratch = [0u16; BRAM_ROWS];
+    let mut out = Vec::new();
+    for _ in 0..opts.warmup_iters {
+        std::hint::black_box(run_raw(&mut scratch));
+        std::hint::black_box(run_ecc(&mut scratch, &mut out));
+    }
+    let mut raw_ns = Vec::with_capacity(pairs as usize);
+    let mut decode_ns = Vec::with_capacity(pairs as usize);
+    let mut ratios = Vec::with_capacity(pairs as usize);
+    for _ in 0..pairs {
+        let t0 = std::time::Instant::now();
+        std::hint::black_box(run_raw(&mut scratch));
+        let raw = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let t1 = std::time::Instant::now();
+        std::hint::black_box(run_ecc(&mut scratch, &mut out));
+        let dec = u64::try_from(t1.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        raw_ns.push(raw);
+        decode_ns.push(dec);
+        ratios.push(dec as f64 / raw.max(1) as f64);
+    }
+    for (name, ops, samples) in [
+        ("ecc_decode/raw_corrupt_read", raw_ops, &raw_ns),
+        ("ecc_decode/secded_decode", ecc_ops, &decode_ns),
+    ] {
+        let m = Measurement {
+            name: name.to_string(),
+            ops_per_sample: ops,
+            samples_ns: samples.clone(),
+            median_ns: median_ns(samples),
+            min_ns: *samples.iter().min().expect("nonempty"),
+            max_ns: *samples.iter().max().expect("nonempty"),
+        };
+        print_measurement(suite.record(m));
+    }
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+    suite.derive("ecc_decode_overhead_x", ratios[ratios.len() / 2]);
+}
+
 /// The bulk-corruption kernel untraced vs inside a live span, to price the
 /// telemetry itself (the ISSUE acceptance bar is < 5% overhead).
 ///
@@ -721,6 +817,11 @@ fn main() -> ExitCode {
     }
     println!();
     {
+        let _p = phase_tracer.span("ecc_decode");
+        bench_ecc_decode(&mut suite, &opts);
+    }
+    println!();
+    {
         let _p = phase_tracer.span("traced_overhead");
         bench_traced_overhead(&mut suite, &opts);
     }
@@ -766,6 +867,19 @@ fn main() -> ExitCode {
         .map_or(0.0, |d| d.value);
     if !args.quick && subscribe_pct >= 5.0 {
         eprintln!("subscribe_overhead_pct {subscribe_pct:.2}% breaches the 5% budget");
+        return ExitCode::FAILURE;
+    }
+
+    // The acceptance bar on the SECDED path: decoding a full corrupted
+    // image may cost < 3x the unprotected read it replaces. Same policy
+    // as above — quick mode reports without gating.
+    let ecc_overhead = suite
+        .derived
+        .iter()
+        .find(|d| d.name == "ecc_decode_overhead_x")
+        .map_or(0.0, |d| d.value);
+    if !args.quick && ecc_overhead >= 3.0 {
+        eprintln!("ecc_decode_overhead_x {ecc_overhead:.2}x breaches the 3x budget");
         return ExitCode::FAILURE;
     }
 

@@ -7,7 +7,9 @@
 //! fault rate. Later PRs extend this with pattern dependence and thermal
 //! (ITD) shifts.
 
-use uvf_characterize::{available_threads, Campaign, Harness, Probe, RecoveryPolicy, SweepConfig};
+use uvf_characterize::{
+    available_threads, cluster_brams, Campaign, Harness, Probe, RecoveryPolicy, SweepConfig,
+};
 use uvf_faults::FaultModel;
 use uvf_fpga::{Board, Millivolts, PlatformKind, Rail};
 
@@ -134,6 +136,44 @@ fn full_hundred_run_campaign_matches_design_targets() {
         assert!(
             sigma_rel < 0.15,
             "{kind:?}: run σ {sigma:.2} faults/Mbit vs Table II {target_sigma:.1} (rel {sigma_rel:.3})"
+        );
+    }
+}
+
+/// Fig. 5 calibration follow-up: the dominant (least-faulty) cluster
+/// share from `cluster_brams` against the paper's published 88.6 %
+/// split, with a per-platform tolerance. The modelled dies bracket the
+/// published figure rather than landing on it exactly — KC705-B's
+/// silhouette selects k = 6, fragmenting its low-vulnerability mass
+/// into several classes, so its dominant-class share sits well below
+/// the two-cluster platforms and carries the widest band. Same knobs as
+/// `repro fig5` and `stats_landmarks.rs`: max_k = 6, seed 5, census at
+/// Vcrash.
+#[test]
+fn dominant_cluster_share_tracks_fig5_split() {
+    const MAX_K: usize = 6;
+    const CLUSTER_SEED: u64 = 5;
+    const PAPER_SHARE: f64 = 0.886;
+    // (platform, tolerance around the paper's split). Bands are pinned
+    // just above today's measured gaps (0.960, 0.979, 0.865, 0.616) so
+    // a modelling change that moves any die's split materially fails.
+    const TOLERANCE: [(PlatformKind, f64); 4] = [
+        (PlatformKind::Vc707, 0.08),
+        (PlatformKind::Zc702, 0.10),
+        (PlatformKind::Kc705A, 0.03),
+        (PlatformKind::Kc705B, 0.28),
+    ];
+    for (kind, tol) in TOLERANCE {
+        let platform = kind.descriptor();
+        let map = FaultModel::new(platform).variation_map(platform.vccbram.vcrash);
+        let clusters = cluster_brams(&map, MAX_K, CLUSTER_SEED)
+            .unwrap_or_else(|| panic!("{kind:?}: census too small to cluster"));
+        let share = clusters.least_faulty_share();
+        let gap = (share - PAPER_SHARE).abs();
+        assert!(
+            gap <= tol,
+            "{kind:?}: dominant-cluster share {share:.3} vs paper {PAPER_SHARE} \
+             (gap {gap:.3} > tol {tol})"
         );
     }
 }

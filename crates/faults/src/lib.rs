@@ -15,6 +15,7 @@
 
 #![deny(deprecated)]
 
+pub mod ecc;
 pub mod fvm;
 pub mod ladder;
 pub mod mask;
@@ -25,6 +26,7 @@ pub mod thermal;
 pub mod variation;
 pub mod weakcells;
 
+pub use ecc::{Codeword, Decode, EccStats};
 pub use fvm::FaultVariationMap;
 pub use ladder::{LadderKernel, LadderStep, MaskPlan};
 pub use mask::{FaultMask, ResolvedCondition, WindowJudge};

@@ -15,6 +15,7 @@
 
 pub mod board;
 pub mod bram;
+pub mod eccmode;
 pub mod error;
 pub mod floorplan;
 pub mod platform;
@@ -26,6 +27,7 @@ pub mod voltage;
 
 pub use board::{Board, BoardState, DEFAULT_TEMPERATURE_C};
 pub use bram::{Bram, BramId, DataPattern};
+pub use eccmode::{ecc_brams_for, StoredCodeword, ECC_CODEWORDS_PER_BRAM, ECC_WORDS_PER_BRAM};
 pub use error::{BoardError, ParseNameError, PmbusError};
 pub use floorplan::{Floorplan, Site};
 pub use platform::{Platform, PlatformKind, BRAM_BITS, BRAM_ROWS, BRAM_WORD_BITS};

@@ -101,6 +101,46 @@ fn prometheus_exposition_of_scripted_events_is_golden() {
     assert_golden("scripted.prom", &actual);
 }
 
+/// The mitigation counters (`uvf_ecc_corrected_total`,
+/// `uvf_ecc_escaped_total`) in both sinks, over the scripted sequence an
+/// ECC-mode read-back emits per ladder rung: two counters plus a census
+/// instant. New series are an interface too — dashboards sum the
+/// corrected/escaped rates — so their names and rendering are pinned
+/// here like the rest.
+#[test]
+fn ecc_mitigation_counters_are_golden_in_both_sinks() {
+    let log = std::env::temp_dir().join(format!("uvf-golden-ecc-{}.jsonl", std::process::id()));
+    let jsonl = Arc::new(JsonlSink::create(&log).expect("create log"));
+    let prom = Arc::new(PrometheusSink::new());
+    let tracer = Tracer::builder().sink(jsonl).sink(prom.clone()).build();
+    // Three ladder rungs, as the shoot-out reports them: corrections
+    // grow down the rail, escapes wake up near Vcrash.
+    for (v_mv, corrected, escaped) in [(560u64, 41u64, 0u64), (550, 388, 3), (540, 3120, 95)] {
+        tracer.counter("ecc_corrected", corrected);
+        tracer.counter("ecc_escaped", escaped);
+        tracer.instant(
+            "ecc_census_level",
+            vec![
+                ("platform", "vc707".to_string().into()),
+                ("v_mv", v_mv.into()),
+                ("corrected", corrected.into()),
+                ("escaped", escaped.into()),
+            ],
+        );
+    }
+    tracer.flush();
+    let actual_log = std::fs::read_to_string(&log).expect("read log");
+    std::fs::remove_file(&log).ok();
+    assert_golden("ecc_counters.jsonl", &actual_log);
+
+    let exposition = prom.render();
+    parse_exposition(&exposition).expect("exposition parses");
+    // The self-documenting totals the issue pins by name.
+    assert!(exposition.contains("uvf_ecc_corrected_total 3549"));
+    assert!(exposition.contains("uvf_ecc_escaped_total 98"));
+    assert_golden("ecc_counters.prom", &exposition);
+}
+
 /// The aggregated *fleet* exposition over a scripted three-worker event
 /// sequence: counters summed across workers, the shared histogram
 /// bucket-merged (one sample per decade from each worker, shifted so the
